@@ -1,0 +1,1 @@
+bench/experiments.ml: Catalog Char Float Fun Hashtbl List Locus Locus_core Net Option Printf Proto Recovery Report Sim Storage String Txn Unix Vv

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Catalog Experiments Hashtbl List Locus Locus_core Measure Printf Proto Staged Storage String Sys Test Time Toolkit Vv

@@ -1,0 +1,128 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe            -- run every experiment (E1..E12)
+   dune exec bench/main.exe -- e5 e6   -- run selected experiments
+   dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks of the
+                                          hot paths (host CPU time) *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Us = Locus_core.Us
+module K = Locus_core.Ktypes
+module Page = Storage.Page
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Shadow = Storage.Shadow
+module Vvec = Vv.Version_vector
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  (* Persistent worlds reused across iterations (the benchmarks measure
+     steady-state kernel paths, not world construction). *)
+  let w = World.create ~config:(World.default_config ~n_sites:5 ()) () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/bench");
+  Kernel.write_file k0 p0 "/bench" (String.make 4096 'b');
+  ignore (World.settle w);
+  let gf0 = Locus_core.Pathname.resolve_from k0 ~cwd:(Catalog.Mount.root k0.K.mount)
+      ~context:[] "/bench" in
+  let k3 = World.kernel w 3 in
+
+  let local_open =
+    Test.make ~name:"open+close local"
+      (Staged.stage (fun () ->
+           let o = Us.open_gf k0 gf0 Proto.Mode_read in
+           Us.close k0 o))
+  in
+  let remote_open =
+    Test.make ~name:"open+close remote"
+      (Staged.stage (fun () ->
+           let o = Us.open_gf k3 gf0 Proto.Mode_read in
+           Us.close k3 o))
+  in
+  let o_local = Us.open_gf k0 gf0 Proto.Mode_read in
+  let o_remote = Us.open_gf k3 gf0 Proto.Mode_read in
+  let read_local =
+    Test.make ~name:"page read local"
+      (Staged.stage (fun () -> ignore (Us.read_page k0 o_local 0)))
+  in
+  let read_remote =
+    Test.make ~name:"page read remote (cached)"
+      (Staged.stage (fun () -> ignore (Us.read_page k3 o_remote 0)))
+  in
+  let pack = Pack.create ~fg:9 ~pack_id:0 ~ino_lo:2 ~ino_hi:10_000 () in
+  let inode = Inode.create ~ino:2 ~ftype:Inode.Regular ~owner:"b" in
+  Pack.install_inode pack inode;
+  let body = String.make 2048 's' in
+  let shadow_commit =
+    Test.make ~name:"shadow commit 2 pages"
+      (Staged.stage (fun () ->
+           let s = Shadow.begin_modify pack 2 in
+           Shadow.set_contents s body;
+           Shadow.commit s ~vv:Vvec.zero ~mtime:0.0))
+  in
+  let a = Vvec.of_list [ (0, 3); (1, 2); (4, 9) ] in
+  let b = Vvec.of_list [ (0, 3); (2, 7) ] in
+  let vv_compare =
+    Test.make ~name:"version-vector compare"
+      (Staged.stage (fun () -> ignore (Vvec.compare_vv a b)))
+  in
+  let dir = Catalog.Dir.empty () in
+  for i = 0 to 99 do
+    Catalog.Dir.insert dir ~name:(Printf.sprintf "entry%d" i) ~ino:(i + 2)
+      ~stamp:0.0 ~origin:0
+  done;
+  let dir_codec =
+    Test.make ~name:"directory encode+decode (100 entries)"
+      (Staged.stage (fun () ->
+           ignore (Catalog.Dir.decode (Catalog.Dir.encode dir))))
+  in
+  [
+    local_open; remote_open; read_local; read_remote; shadow_commit; vv_compare;
+    dir_codec;
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  Printf.printf "\n== Bechamel micro-benchmarks (host CPU) ==\n%!";
+  let tests = micro_tests () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-40s %10.0f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ---- entry point ---- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  Printf.printf
+    "LOCUS reproduction benchmark harness (see EXPERIMENTS.md for the index)\n";
+  match args with
+  | [] ->
+    List.iter (fun e -> e ()) Experiments.all;
+    run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt (String.lowercase_ascii name) Experiments.by_name with
+        | Some e -> e ()
+        | None ->
+          if name = "micro" then run_micro ()
+          else Printf.eprintf "unknown experiment %S (e1..e12, micro)\n" name)
+      names

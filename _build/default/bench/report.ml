@@ -1,0 +1,41 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let rule widths =
+  let parts = List.map (fun w -> String.make (w + 2) '-') widths in
+  "+" ^ String.concat "+" parts ^ "+"
+
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+  in
+  Printf.printf "\n%s\n" title;
+  let line row =
+    let cells = List.map2 (fun w c -> " " ^ pad w c ^ " ") widths row in
+    Printf.printf "|%s|\n" (String.concat "|" cells)
+  in
+  Printf.printf "%s\n" (rule widths);
+  line header;
+  Printf.printf "%s\n" (rule widths);
+  List.iter line rows;
+  Printf.printf "%s\n" (rule widths)
+
+let f1 v = Printf.sprintf "%.1f" v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+let i = string_of_int
+
+let check b = if b then "PASS" else "FAIL"
+
+let section name what =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" name;
+  Printf.printf "  %s\n" what;
+  Printf.printf "==============================================================\n"

@@ -1,0 +1,1 @@
+examples/mail_recon.ml: Catalog List Locus Locus_core Printf Recovery Storage

@@ -1,0 +1,1 @@
+examples/partition_merge.ml: Catalog Format List Locus Locus_core Printf Proto Recovery Storage String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Locus Locus_core Printf Sim

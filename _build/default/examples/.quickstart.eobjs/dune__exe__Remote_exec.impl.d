@@ -1,0 +1,1 @@
+examples/remote_exec.ml: List Locus Locus_core Printf Proto Sim String

@@ -1,0 +1,1 @@
+examples/replication_tour.ml: Catalog Hashtbl List Locus Locus_core Printf Proto Storage Vv

@@ -1,0 +1,1 @@
+examples/txn_tour.ml: List Locus Locus_core Printf String Txn

@@ -1,0 +1,1 @@
+lib/catalog/dir.ml: Buffer Hashtbl List Printf String

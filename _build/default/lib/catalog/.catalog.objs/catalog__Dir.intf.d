@@ -1,0 +1,1 @@
+lib/catalog/dir.mli:

@@ -1,0 +1,1 @@
+lib/catalog/gfile.ml: Format Int Map Set

@@ -1,0 +1,1 @@
+lib/catalog/gfile.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/catalog/mailbox.ml: Buffer Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/catalog/mount.ml: Gfile Int List Option

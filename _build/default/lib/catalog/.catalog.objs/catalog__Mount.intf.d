@@ -1,0 +1,1 @@
+lib/catalog/mount.mli: Gfile

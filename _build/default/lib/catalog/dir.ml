@@ -1,0 +1,86 @@
+type status = Live | Tombstone
+
+type entry = { name : string; ino : int; status : status; stamp : float; origin : int }
+
+type t = (string, entry) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+
+let lookup t name =
+  match Hashtbl.find_opt t name with
+  | Some { status = Live; ino; _ } -> Some ino
+  | Some { status = Tombstone; _ } | None -> None
+
+let find_entry t name = Hashtbl.find_opt t name
+
+let valid_name name =
+  String.length name > 0
+  && String.for_all (fun c -> c <> '/' && c <> '\t' && c <> '\n') name
+
+let insert t ~name ~ino ~stamp ~origin =
+  if not (valid_name name) then invalid_arg "Dir.insert: invalid name";
+  Hashtbl.replace t name { name; ino; status = Live; stamp; origin }
+
+let remove t ~name ~stamp ~origin =
+  match Hashtbl.find_opt t name with
+  | Some ({ status = Live; _ } as e) ->
+    Hashtbl.replace t name { e with status = Tombstone; stamp; origin };
+    true
+  | Some { status = Tombstone; _ } | None -> false
+
+let sorted_entries t pred =
+  Hashtbl.fold (fun _ e acc -> if pred e then e :: acc else acc) t []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let live_entries t = sorted_entries t (fun e -> e.status = Live)
+
+let all_entries t = sorted_entries t (fun _ -> true)
+
+let cardinal t = List.length (live_entries t)
+
+let names_of_ino t ino =
+  live_entries t |> List.filter_map (fun e -> if e.ino = ino then Some e.name else None)
+
+let encode t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%d\t%c\t%h\t%d\n" e.name e.ino
+           (match e.status with Live -> 'L' | Tombstone -> 'T')
+           e.stamp e.origin))
+    (all_entries t);
+  Buffer.contents buf
+
+let decode s =
+  let t = empty () in
+  let lines = String.split_on_char '\n' s in
+  List.iter
+    (fun line ->
+      if String.length line > 0 then begin
+        match String.split_on_char '\t' line with
+        | [ name; ino; status; stamp; origin ] ->
+          let status =
+            match status with
+            | "L" -> Live
+            | "T" -> Tombstone
+            | _ -> failwith "Dir.decode: bad status"
+          in
+          Hashtbl.replace t name
+            {
+              name;
+              ino = int_of_string ino;
+              status;
+              stamp = float_of_string stamp;
+              origin = int_of_string origin;
+            }
+        | _ -> failwith "Dir.decode: malformed entry"
+      end)
+    lines;
+  t
+
+let copy t = Hashtbl.copy t
+
+let equal a b =
+  let norm t = all_entries t in
+  norm a = norm b

@@ -1,0 +1,58 @@
+(** Directory contents.
+
+    A directory is "a set of records, each one containing the character
+    string comprising one element in the path name" plus the inode number it
+    points at (§4.4). The two operations are insert and remove; removed
+    entries leave *tombstones* carrying the time and site of the removal,
+    which is exactly the deletion information the reconciliation rules of
+    §4.4 require. Directory contents are serialized into the directory
+    file's data pages with a line-oriented codec. *)
+
+type status = Live | Tombstone
+
+type entry = {
+  name : string;
+  ino : int;           (** inode number within the directory's filegroup *)
+  status : status;
+  stamp : float;       (** simulated time of the last change to this entry *)
+  origin : int;        (** site that performed the change *)
+}
+
+type t
+
+val empty : unit -> t
+
+val lookup : t -> string -> int option
+(** Inode number bound to a live entry. *)
+
+val find_entry : t -> string -> entry option
+(** Entry, live or tombstone. *)
+
+val insert : t -> name:string -> ino:int -> stamp:float -> origin:int -> unit
+(** Add or resurrect a binding. Raises [Invalid_argument] on names
+    containing the codec separators or "/" (or empty names). *)
+
+val remove : t -> name:string -> stamp:float -> origin:int -> bool
+(** Replace a live entry by a tombstone. Returns false if no live entry. *)
+
+val live_entries : t -> entry list
+(** Sorted by name. *)
+
+val all_entries : t -> entry list
+(** Live entries and tombstones, sorted by name. *)
+
+val cardinal : t -> int
+(** Number of live entries. *)
+
+val names_of_ino : t -> int -> string list
+(** All live names binding an inode (hard links). *)
+
+val encode : t -> string
+
+val decode : string -> t
+(** Inverse of {!encode}. Raises [Failure] on malformed input. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Same live bindings and same tombstones. *)

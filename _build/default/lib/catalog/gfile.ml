@@ -1,0 +1,21 @@
+type t = { fg : int; ino : int }
+
+let make ~fg ~ino = { fg; ino }
+
+let compare a b =
+  match Int.compare a.fg b.fg with 0 -> Int.compare a.ino b.ino | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.fprintf ppf "<%d,%d>" t.fg t.ino
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

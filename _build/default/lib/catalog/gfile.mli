@@ -1,0 +1,21 @@
+(** Globally unique low-level file names.
+
+    "A file's globally unique low-level name is: <logical filegroup number,
+    file descriptor (inode) number> and it is this name which most of the
+    operating system uses" (§2.2.2). *)
+
+type t = { fg : int; ino : int }
+
+val make : fg:int -> ino:int -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t

@@ -1,0 +1,80 @@
+type msg = { id : string; deleted : bool; stamp : float; from : string; body : string }
+
+type t = (string, msg) Hashtbl.t
+
+let empty () : t = Hashtbl.create 16
+
+let clean s = String.for_all (fun c -> c <> '\t' && c <> '\n') s
+
+let insert t ~id ~stamp ~from ~body =
+  if not (clean id && clean from && clean body) then
+    invalid_arg "Mailbox.insert: fields must not contain tab/newline";
+  Hashtbl.replace t id { id; deleted = false; stamp; from; body }
+
+let delete t ~id ~stamp =
+  match Hashtbl.find_opt t id with
+  | Some ({ deleted = false; _ } as m) ->
+    Hashtbl.replace t id { m with deleted = true; stamp };
+    true
+  | Some { deleted = true; _ } | None -> false
+
+let sorted pred t =
+  Hashtbl.fold (fun _ m acc -> if pred m then m :: acc else acc) t []
+  |> List.sort (fun a b ->
+         match Float.compare a.stamp b.stamp with
+         | 0 -> String.compare a.id b.id
+         | c -> c)
+
+let live t = sorted (fun m -> not m.deleted) t
+
+let all t = sorted (fun _ -> true) t
+
+let cardinal t = List.length (live t)
+
+let mem t id =
+  match Hashtbl.find_opt t id with Some { deleted; _ } -> not deleted | None -> false
+
+let encode t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\t%c\t%h\t%s\t%s\n" m.id
+           (if m.deleted then 'D' else 'L')
+           m.stamp m.from m.body))
+    (all t);
+  Buffer.contents buf
+
+let decode s =
+  let t = empty () in
+  List.iter
+    (fun line ->
+      if String.length line > 0 then begin
+        match String.split_on_char '\t' line with
+        | [ id; flag; stamp; from; body ] ->
+          let deleted =
+            match flag with
+            | "D" -> true
+            | "L" -> false
+            | _ -> failwith "Mailbox.decode: bad flag"
+          in
+          Hashtbl.replace t id { id; deleted; stamp = float_of_string stamp; from; body }
+        | _ -> failwith "Mailbox.decode: malformed message"
+      end)
+    (String.split_on_char '\n' s);
+  t
+
+let merge a b =
+  let out = empty () in
+  let add _ (m : msg) =
+    match Hashtbl.find_opt out m.id with
+    | None -> Hashtbl.replace out m.id m
+    | Some existing ->
+      (* A deletion in either copy wins; otherwise keep either (same body). *)
+      if m.deleted && not existing.deleted then Hashtbl.replace out m.id m
+  in
+  Hashtbl.iter add a;
+  Hashtbl.iter add b;
+  out
+
+let equal a b = all a = all b

@@ -1,0 +1,44 @@
+(** Mailbox files and their automatic reconciliation (§4.5).
+
+    A mailbox is a single file holding multiple messages (the default LOCUS
+    storage format). The only partitioned-mode operations are insert and
+    delete; message identifiers embed the originating site so name conflicts
+    cannot arise, and deletion information is kept as tombstones — which is
+    why two divergent mailbox copies always merge cleanly. *)
+
+type msg = {
+  id : string;       (** unique: "<site>.<seq>" assigned at insertion *)
+  deleted : bool;
+  stamp : float;
+  from : string;
+  body : string;     (** must not contain newline/tab; callers escape *)
+}
+
+type t
+
+val empty : unit -> t
+
+val insert : t -> id:string -> stamp:float -> from:string -> body:string -> unit
+
+val delete : t -> id:string -> stamp:float -> bool
+(** Tombstone a message. False if unknown or already deleted. *)
+
+val live : t -> msg list
+(** Undeleted messages, oldest stamp first. *)
+
+val all : t -> msg list
+
+val cardinal : t -> int
+
+val mem : t -> string -> bool
+(** A live message with this id exists. *)
+
+val encode : t -> string
+
+val decode : string -> t
+
+val merge : t -> t -> t
+(** Reconcile two divergent copies: union of messages; a deletion in either
+    copy wins. Commutative, associative, idempotent. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,35 @@
+type t = {
+  root_fg : int;
+  mutable mounts : (Gfile.t * int) list; (* mount point -> child fg *)
+}
+
+let root_ino = 1
+
+let create ~root_fg = { root_fg; mounts = [] }
+
+let root t = Gfile.make ~fg:t.root_fg ~ino:root_ino
+
+let root_fg t = t.root_fg
+
+let add t ~mount_point ~child_fg =
+  if child_fg = t.root_fg || List.exists (fun (_, fg) -> fg = child_fg) t.mounts then
+    invalid_arg "Mount.add: filegroup already mounted";
+  if List.exists (fun (p, _) -> Gfile.equal p mount_point) t.mounts then
+    invalid_arg "Mount.add: mount point already in use";
+  t.mounts <- (mount_point, child_fg) :: t.mounts
+
+let mounted_at t point =
+  List.find_opt (fun (p, _) -> Gfile.equal p point) t.mounts |> Option.map snd
+
+let mount_point_of t fg =
+  List.find_opt (fun (_, child) -> child = fg) t.mounts |> Option.map fst
+
+let filegroups t = t.root_fg :: List.map snd t.mounts |> List.sort_uniq Int.compare
+
+let copy t = { t with mounts = t.mounts }
+
+let equal a b =
+  let norm t =
+    List.sort (fun (p1, _) (p2, _) -> Gfile.compare p1 p2) t.mounts
+  in
+  a.root_fg = b.root_fg && norm a = norm b

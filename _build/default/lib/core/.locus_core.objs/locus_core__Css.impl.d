@@ -1,0 +1,1 @@
+lib/core/css.ml: Format Gfile Hashtbl Ktypes List Option Proto Site Storage Vvec

@@ -1,0 +1,1 @@
+lib/core/css.mli: Catalog Ktypes Net Proto Vv

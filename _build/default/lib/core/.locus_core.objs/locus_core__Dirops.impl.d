@@ -1,0 +1,1 @@
+lib/core/dirops.ml: Catalog Format Gfile Ktypes List Pathname Proto Site Ss Storage Us

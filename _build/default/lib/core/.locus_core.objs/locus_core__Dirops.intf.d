@@ -1,0 +1,1 @@
+lib/core/dirops.mli: Catalog Ktypes Net Storage

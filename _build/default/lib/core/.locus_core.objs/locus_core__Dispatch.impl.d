@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Css Gfile Ktypes Net Process Propagation Proto Ss Storage Tokens

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Catalog Css Dirops Dispatch Format Gfile Hashtbl Ktypes List Net Pathname Printf Process Proto Queue Sim Site Ss Storage String Tokens Us

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Catalog Ktypes Net Proto Sim Storage

@@ -1,0 +1,1 @@
+lib/core/ktypes.ml: Catalog Format Hashtbl List Net Printexc Printf Proto Queue Sim Storage Vv

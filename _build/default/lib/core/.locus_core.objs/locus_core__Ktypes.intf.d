@@ -1,0 +1,1 @@
+lib/core/ktypes.mli: Catalog Format Hashtbl Net Proto Queue Sim Storage Vv

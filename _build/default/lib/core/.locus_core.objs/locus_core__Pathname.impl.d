@@ -1,0 +1,1 @@
+lib/core/pathname.ml: Catalog Gfile Ktypes List Proto Storage String Us

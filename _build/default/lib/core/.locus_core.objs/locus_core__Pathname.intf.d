@@ -1,0 +1,1 @@
+lib/core/pathname.mli: Catalog Ktypes Storage

@@ -1,0 +1,1 @@
+lib/core/process.ml: Catalog Hashtbl Ktypes List Option Pathname Printf Proto Site Storage String Tokens Us

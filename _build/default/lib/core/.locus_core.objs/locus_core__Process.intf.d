@@ -1,0 +1,1 @@
+lib/core/process.mli: Catalog Ktypes Net Proto

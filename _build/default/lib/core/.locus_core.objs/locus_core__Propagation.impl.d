@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Css Engine Format Fun Gfile Ktypes List Option Proto Queue Site Storage Vvec

@@ -1,0 +1,1 @@
+lib/core/propagation.mli: Catalog Ktypes Net Vv

@@ -1,0 +1,1 @@
+lib/core/ss.ml: Css Format Gfile Hashtbl Ktypes List Proto Sim Site Storage String Vvec

@@ -1,0 +1,1 @@
+lib/core/ss.mli: Catalog Ktypes Net Proto Storage Vv

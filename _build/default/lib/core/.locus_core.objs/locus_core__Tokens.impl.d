@@ -1,0 +1,1 @@
+lib/core/tokens.ml: Format Hashtbl Ktypes Proto Sim Site

@@ -1,0 +1,1 @@
+lib/core/tokens.mli: Catalog Ktypes Net Proto

@@ -1,0 +1,1 @@
+lib/core/us.ml: Buffer Engine Format Gfile Hashtbl Ktypes List Net Option Proto Sim Site Ss Storage String Vvec

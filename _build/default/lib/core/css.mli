@@ -1,0 +1,76 @@
+(** Current Synchronization Site logic (§2.3.1).
+
+    All open requests for a filegroup's files flow through its CSS, which
+    enforces the global synchronization policy (one open for modification,
+    any number of readers), knows which sites store each file at which
+    version vector, selects the storage site for each open (with the two
+    collocation optimizations of §2.3.3), and decides when a deleted
+    inode number can be reallocated. *)
+
+val is_css : Ktypes.t -> int -> bool
+
+val fg_state : Ktypes.t -> int -> Ktypes.css_fg
+
+val find_file : Ktypes.t -> int -> int -> Ktypes.css_file option
+
+val get_file : Ktypes.t -> int -> int -> Ktypes.css_file
+(** Find-or-create, seeding from the local pack when this CSS stores the
+    file itself. *)
+
+val seed_copy :
+  Ktypes.t ->
+  Catalog.Gfile.t ->
+  site:Net.Site.t ->
+  vv:Vv.Version_vector.t ->
+  deleted:bool ->
+  unit
+(** Record (at boot or lock-table rebuild) that [site] stores a copy. *)
+
+val sites_with_latest : Ktypes.t -> Ktypes.css_file -> Net.Site.t list
+(** Reachable sites whose copy is at the latest version: the SS
+    candidates. *)
+
+val handle_open :
+  Ktypes.t ->
+  src:Net.Site.t ->
+  Catalog.Gfile.t ->
+  Proto.open_mode ->
+  shared:bool ->
+  Vv.Version_vector.t option ->
+  Proto.resp
+(** The CSS half of the open protocol (Figure 2). *)
+
+val handle_ss_close :
+  Ktypes.t -> Catalog.Gfile.t -> us:Net.Site.t -> mode:Proto.open_mode -> Proto.resp
+(** SS→CSS leg of the close protocol. *)
+
+val handle_commit_notify :
+  ?replicas:Net.Site.t list ->
+  Ktypes.t ->
+  Catalog.Gfile.t ->
+  origin:Net.Site.t ->
+  vv:Vv.Version_vector.t ->
+  deleted:bool ->
+  unit
+(** Version bookkeeping on a commit notification; triggers inode
+    reclamation once every storing site has seen a delete (§2.3.7).
+    [replicas] registers create-time designated storage sites. *)
+
+val handle_where : Ktypes.t -> Catalog.Gfile.t -> Proto.resp
+
+val handle_open_files_query : Ktypes.t -> int -> Proto.resp
+(** This site's open files of a filegroup, for a rebuilding CSS (§5.6). *)
+
+val register_open : Ktypes.t -> int -> int * Proto.open_mode * Net.Site.t -> unit
+(** Re-enter one reported open during lock-table rebuild. *)
+
+val drop_site : Ktypes.t -> Net.Site.t -> unit
+(** Scrub lock-table entries owned by a departed site (§5.6). *)
+
+val drop_fg : Ktypes.t -> int -> unit
+(** This site lost the CSS role for a filegroup. *)
+
+val mark_conflict : Ktypes.t -> Catalog.Gfile.t -> unit
+(** Mark a file in version conflict: normal opens fail (§4.6). *)
+
+val clear_conflict : Ktypes.t -> Catalog.Gfile.t -> unit

@@ -1,0 +1,73 @@
+(* Message dispatch: the kernel half that runs on behalf of a foreign
+   site's system call (Figure 1's "serving site" column). *)
+
+open Ktypes
+module Cache = Storage.Cache
+
+let handle k ~src (req : Proto.req) : Proto.resp =
+  if not k.alive then Proto.R_err Proto.Enet
+  else begin
+    match req with
+    (* open protocol *)
+    | Proto.Open_req { gf; mode; us_vv; shared } ->
+      Css.handle_open k ~src gf mode ~shared us_vv
+    | Proto.Storage_req { gf; vv; us; mode = _; others } ->
+      Ss.handle_storage_req k gf ~vv ~us ~others
+    (* data transfer *)
+    | Proto.Read_page { gf; lpage; guess } -> Ss.handle_read_page ~guess k gf lpage
+    | Proto.Write_page { gf; lpage; whole; off; data } ->
+      Ss.handle_write_page k ~src gf ~lpage ~whole ~off ~data
+    | Proto.Truncate_req { gf; size } -> Ss.handle_truncate k gf ~size
+    | Proto.Commit_req { gf; us = _; abort; delete; force_vv } ->
+      Ss.handle_commit ?force_vv k gf ~abort ~delete
+    (* close protocol *)
+    | Proto.Us_close { gf; mode } -> Ss.handle_us_close k ~src gf ~mode
+    | Proto.Ss_close { gf; ss = _; us; mode } -> Css.handle_ss_close k gf ~us ~mode
+    (* commit notifications: CSS bookkeeping and/or propagation pull *)
+    | Proto.Commit_notify
+        { gf; vv; meta_only = _; modified; origin; fresh; deleted; designate; replicas }
+      ->
+      if (fg_info k gf.Gfile.fg).css_site = k.site then
+        Css.handle_commit_notify ~replicas k gf ~origin ~vv ~deleted;
+      if fresh && not (Net.Site.equal origin k.site) then
+        Propagation.enqueue k gf ~vv ~modified ~designate;
+      Proto.R_ok
+    | Proto.Reclaim_req { gf } -> Ss.handle_reclaim k gf
+    | Proto.Page_invalidate { gf; lpage } ->
+      Cache.invalidate_if k.us_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+      Proto.R_ok
+    (* create / delete / metadata *)
+    | Proto.Create_req { fg; ftype; owner; perms; replicate_at } ->
+      Ss.handle_create k fg ~ftype ~owner ~perms ~replicate_at
+    | Proto.Link_count { gf; delta } -> Ss.handle_link_count k gf ~delta
+    | Proto.Set_attr { gf; perms; owner } -> Ss.handle_set_attr k gf ~perms ~owner
+    | Proto.Stat_req { gf } -> Ss.handle_stat k gf
+    | Proto.Where_stored { gf } -> Css.handle_where k gf
+    (* tokens *)
+    | Proto.Token_req { key = Proto.Tok_fd (a, b); for_site } ->
+      Tokens.handle_token_req k (a, b) ~for_site
+    | Proto.Token_state_req { key = Proto.Tok_fd (a, b) } ->
+      Tokens.handle_token_state_req k (a, b)
+    (* processes *)
+    | Proto.Fork_req { child_pid; env; image_pages; parent } ->
+      Process.handle_fork k ~child_pid ~env ~image_pages ~parent
+    | Proto.Exec_req { pid; path; env; image_pages; parent } ->
+      Process.handle_exec k ~pid ~path ~env ~image_pages ~parent
+    | Proto.Run_req { child_pid; path; env; parent; context_override } ->
+      Process.handle_run ?context_override k ~child_pid ~path ~env ~parent
+    | Proto.Signal_req { pid; signo } -> Process.deliver_signal k pid signo
+    | Proto.Exit_notify { pid; status; child_site } ->
+      Process.handle_exit_notify k ~pid ~status ~child_site
+    (* pipes *)
+    | Proto.Pipe_write { gf; data } -> Ss.handle_pipe_write k gf data
+    | Proto.Pipe_read { gf; max } -> Ss.handle_pipe_read k gf max
+    (* recovery bookkeeping served by the core *)
+    | Proto.Open_files_query { fg } -> Css.handle_open_files_query k fg
+    | Proto.Pack_inventory { fg } -> Ss.handle_inventory k fg
+    (* reconfiguration protocols: handled by the recovery layer's hook *)
+    | Proto.Part_poll _ | Proto.Part_announce _ | Proto.Merge_poll _
+    | Proto.Merge_announce _ | Proto.Status_check _ -> (
+      match k.extra_handler src req with
+      | Some resp -> resp
+      | None -> Proto.R_err Proto.Einval)
+  end

@@ -1,0 +1,7 @@
+(** Message dispatch: the kernel half that runs on behalf of a foreign
+    site's system call (the "serving site" column of Figure 1). Maps each
+    {!Proto.req} to the CSS / SS / process / token handler; the
+    reconfiguration messages go to the hook installed by the recovery
+    layer. *)
+
+val handle : Ktypes.t -> src:Net.Site.t -> Proto.req -> Proto.resp

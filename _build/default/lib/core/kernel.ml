@@ -1,0 +1,431 @@
+(* Kernel construction and the user-visible system-call layer.
+
+   The system calls mirror the paper's list — open, create, read, write,
+   commit, close, unlink (2.3) — plus the process calls of section 3 and
+   the replication-control calls of section 2.3.7. All of them are
+   location transparent: the same call with the same parameters works
+   whether the file (or the process) is local or remote. *)
+
+open Ktypes
+module Inode = Storage.Inode
+module Dir = Catalog.Dir
+module Mbox = Catalog.Mailbox
+module Mount = Catalog.Mount
+
+type t = Ktypes.t
+
+let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_config)
+    () =
+  let k =
+    {
+      site;
+      machine_type;
+      engine;
+      net;
+      config;
+      mount;
+      fg_table;
+      packs = Hashtbl.create 8;
+      css_state = Hashtbl.create 8;
+      open_files = Hashtbl.create 64;
+      ss_opens = Hashtbl.create 64;
+      ss_slots = Hashtbl.create 64;
+      us_cache = Storage.Cache.create ~capacity:config.cache_capacity;
+      prop_pending = Gfile.Set.empty;
+      prop_queue = Queue.create ();
+      shared_fds = Hashtbl.create 32;
+      procs = Hashtbl.create 32;
+      pipe_bufs = Hashtbl.create 8;
+      next_serial = 1;
+      dispatch = (fun _ _ -> Proto.R_err Proto.Eio);
+      extra_handler = (fun _ _ -> None);
+      site_table = [ site ];
+      alive = true;
+      recon_stage = 0;
+    }
+  in
+  k.dispatch <- (fun src req -> Dispatch.handle k ~src req);
+  Net.Netsim.set_handler net site (fun ~src req -> Dispatch.handle k ~src req);
+  k
+
+let site k = k.site
+
+let add_pack k pack = Hashtbl.replace k.packs (Storage.Pack.fg pack) pack
+
+let set_site_table k sites = k.site_table <- List.sort_uniq Site.compare sites
+
+let site_table k = k.site_table
+
+(* ---- path-level conveniences used by processes ---- *)
+
+let resolve k (proc : proc) path =
+  Pathname.resolve_from k ~cwd:proc.p_cwd ~context:proc.p_context path
+
+let resolve_raw k (proc : proc) path =
+  Pathname.resolve_from k ~cwd:proc.p_cwd ~context:proc.p_context
+    ~follow_hidden:false path
+
+(* ---- protection (2.3.3: "protection checks are made") ---- *)
+
+let may_access (proc : proc) (info : Proto.inode_info) ~write =
+  let bit = if write then 0o200 else 0o400 in
+  let other_bit = if write then 0o002 else 0o004 in
+  String.equal proc.p_uid "root"
+  || (String.equal proc.p_uid info.Proto.i_owner && info.Proto.i_perms land bit <> 0)
+  || ((not (String.equal proc.p_uid info.Proto.i_owner))
+     && info.Proto.i_perms land other_bit <> 0)
+
+(* Open with the caller's credentials checked against the descriptor. *)
+let open_checked k (proc : proc) gf mode =
+  let o = Us.open_gf k gf mode in
+  let write = mode = Proto.Mode_modify in
+  if may_access proc o.o_info ~write then o
+  else begin
+    (try Us.close k o with Error _ -> ());
+    err Proto.Eaccess "%s permission denied on %a for %s"
+      (if write then "write" else "read")
+      Gfile.pp gf proc.p_uid
+  end
+
+(* ---- file descriptors ---- *)
+
+let alloc_fd_num (proc : proc) =
+  let n = proc.p_next_fd in
+  proc.p_next_fd <- n + 1;
+  n
+
+let open_path k (proc : proc) path mode =
+  let gf = resolve k proc path in
+  let o = open_checked k proc gf mode in
+  let fd = Tokens.create_fd k ~gf ~mode ~ofile:o in
+  let num = alloc_fd_num proc in
+  Hashtbl.replace proc.p_fds num fd.f_key;
+  num
+
+let fd_of k (proc : proc) num =
+  match Hashtbl.find_opt proc.p_fds num with
+  | None -> err Proto.Einval "bad file descriptor %d" num
+  | Some key -> Tokens.get_fd k key
+
+(* The site using a shared descriptor needs its own open on the file; a
+   descriptor that arrived by fork opens lazily, joining the original open
+   (exempt from the single-writer policy: the token serializes access). *)
+let ensure_ofile k (fd : shared_fd) =
+  match fd.f_ofile with
+  | Some o when not o.o_closed -> o
+  | Some _ | None ->
+    let o = Us.open_gf ~shared:true k fd.f_gf fd.f_mode in
+    fd.f_ofile <- Some o;
+    o
+
+let read_fd k (proc : proc) num ~len =
+  let fd = fd_of k proc num in
+  Tokens.acquire k fd;
+  let o = ensure_ofile k fd in
+  let data = Us.read_bytes k o ~off:fd.f_offset ~len in
+  fd.f_offset <- fd.f_offset + String.length data;
+  data
+
+let write_fd k (proc : proc) num data =
+  let fd = fd_of k proc num in
+  Tokens.acquire k fd;
+  let o = ensure_ofile k fd in
+  Us.write k o ~off:fd.f_offset data;
+  fd.f_offset <- fd.f_offset + String.length data
+
+let lseek k (proc : proc) num pos =
+  let fd = fd_of k proc num in
+  Tokens.acquire k fd;
+  fd.f_offset <- pos
+
+let commit_fd k (proc : proc) num =
+  let fd = fd_of k proc num in
+  let o = ensure_ofile k fd in
+  Us.commit k o
+
+let abort_fd k (proc : proc) num =
+  let fd = fd_of k proc num in
+  let o = ensure_ofile k fd in
+  Us.abort k o
+
+let close_fd k (proc : proc) num =
+  let fd = fd_of k proc num in
+  Hashtbl.remove proc.p_fds num;
+  fd.f_refs <- fd.f_refs - 1;
+  if fd.f_refs <= 0 then begin
+    (match fd.f_ofile with
+    | Some o -> ( try Us.close k o with Error _ -> ())
+    | None -> ());
+    Hashtbl.remove k.shared_fds fd.f_key
+  end
+
+(* ---- name-space calls ---- *)
+
+let creat ?(ftype = Inode.Regular) k (proc : proc) path =
+  let dir_gf, name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context path
+  in
+  let gf =
+    Dirops.create_in k dir_gf ~name ~ftype ~owner:proc.p_uid ~perms:0o644
+      ~ncopies:proc.p_ncopies
+  in
+  gf
+
+let mkdir ?(hidden = false) k (proc : proc) path =
+  let dir_gf, name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context path
+  in
+  let ftype = if hidden then Inode.Hidden_directory else Inode.Directory in
+  let gf =
+    Dirops.create_in k dir_gf ~name ~ftype ~owner:proc.p_uid ~perms:0o755
+      ~ncopies:proc.p_ncopies
+  in
+  if not hidden then Dirops.init_directory k gf ~parent_ino:dir_gf.Gfile.ino;
+  gf
+
+let mkfifo k (proc : proc) path = creat ~ftype:Inode.Fifo k proc path
+
+let unlink k (proc : proc) path =
+  let dir_gf, name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context path
+  in
+  ignore (Dirops.unlink_gf k dir_gf ~name)
+
+let link k (proc : proc) ~target ~path =
+  let target_gf = resolve k proc target in
+  let dir_gf, name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context path
+  in
+  Dirops.link_gf k ~target:target_gf ~dir_gf ~name
+
+let rename k (proc : proc) ~from_path ~to_path =
+  let old_dir, old_name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context from_path
+  in
+  let new_dir, new_name =
+    Pathname.resolve_parent k ~cwd:proc.p_cwd ~context:proc.p_context to_path
+  in
+  ignore (Dirops.rename_gf k ~old_dir ~old_name ~new_dir ~new_name)
+
+let readdir k (proc : proc) path =
+  let gf = resolve_raw k proc path in
+  Dir.live_entries (Pathname.read_directory k gf)
+
+let stat k (proc : proc) path =
+  let gf = resolve k proc path in
+  Us.stat_gf k gf
+
+let chdir k (proc : proc) path =
+  let gf = resolve_raw k proc path in
+  proc.p_cwd <- gf
+
+(* ---- whole-file conveniences ---- *)
+
+let read_file k (proc : proc) path =
+  let gf = resolve k proc path in
+  let o = open_checked k proc gf Proto.Mode_read in
+  let body = Us.read_all k o in
+  Us.close k o;
+  body
+
+let write_file k (proc : proc) path body =
+  let gf = resolve k proc path in
+  let o = open_checked k proc gf Proto.Mode_modify in
+  Us.set_contents k o body;
+  Us.commit k o;
+  Us.close k o
+
+let append_file k (proc : proc) path body =
+  let gf = resolve k proc path in
+  let o = open_checked k proc gf Proto.Mode_modify in
+  Us.write k o ~off:o.o_info.Proto.i_size body;
+  Us.commit k o;
+  Us.close k o
+
+(* ---- attribute changes: metadata-only commits ---- *)
+
+let set_attr k (proc : proc) path ~perms ~owner =
+  let gf = resolve k proc path in
+  let info = Us.stat_gf k gf in
+  if not (String.equal proc.p_uid "root" || String.equal proc.p_uid info.Proto.i_owner)
+  then err Proto.Eaccess "only the owner may change attributes";
+  (* Serialize against writers via the normal open protocol. *)
+  let o = Us.open_gf k gf Proto.Mode_modify in
+  let resp =
+    if Site.equal o.o_ss k.site then Ss.handle_set_attr k gf ~perms ~owner
+    else rpc k o.o_ss (Proto.Set_attr { gf; perms; owner })
+  in
+  (match resp with
+  | Proto.R_committed _ -> ()
+  | Proto.R_err e ->
+    (try Us.close k o with Error _ -> ());
+    err e "attribute change failed"
+  | _ -> ());
+  Us.close k o
+
+let chmod k (proc : proc) path perms = set_attr k proc path ~perms:(Some perms) ~owner:None
+
+let chown k (proc : proc) path owner = set_attr k proc path ~perms:None ~owner:(Some owner)
+
+(* ---- replication control (section 2.3.7) ---- *)
+
+let set_ncopies (proc : proc) n =
+  if n < 1 then err Proto.Einval "replication factor must be at least 1";
+  proc.p_ncopies <- n
+
+let get_ncopies (proc : proc) = proc.p_ncopies
+
+let set_advice (proc : proc) advice =
+  proc.p_advice <- (match advice with Some s -> [ s ] | None -> [])
+
+let set_advice_list (proc : proc) advice = proc.p_advice <- advice
+
+let set_context (proc : proc) context = proc.p_context <- context
+
+(* ---- named pipes (section 2.4.2) ---- *)
+
+let pipe_storage_site k gf =
+  let fi = fg_info k gf.Gfile.fg in
+  match rpc k fi.css_site (Proto.Where_stored { gf }) with
+  | Proto.R_where { sites; _ } -> (
+    match List.filter (fun s -> in_partition k s) sites with
+    | s :: _ -> s
+    | [] -> err Proto.Enet "no reachable site stores the pipe")
+  | Proto.R_err e -> err e "pipe lookup failed"
+  | _ -> err Proto.Eio "unexpected where response"
+
+let pipe_write k (proc : proc) path data =
+  let gf = resolve k proc path in
+  let ss = pipe_storage_site k gf in
+  if Site.equal ss k.site then expect_ok (Ss.handle_pipe_write k gf data)
+  else expect_ok (rpc k ss (Proto.Pipe_write { gf; data }))
+
+let pipe_read k (proc : proc) path ~max =
+  let gf = resolve k proc path in
+  let ss = pipe_storage_site k gf in
+  let resp =
+    if Site.equal ss k.site then Ss.handle_pipe_read k gf max
+    else rpc k ss (Proto.Pipe_read { gf; max })
+  in
+  match resp with
+  | Proto.R_data { data } -> data
+  | Proto.R_err e -> err e "pipe read failed"
+  | _ -> err Proto.Eio "unexpected pipe response"
+
+(* ---- mailbox delivery (used for conflict notification, section 4.6) ---- *)
+
+let mailbox_deliver k ~path ~from ~body =
+  let root = Mount.root k.mount in
+  let gf = Pathname.resolve_from k ~cwd:root ~context:[] path in
+  let o = Us.open_gf k gf Proto.Mode_modify in
+  let mbox =
+    match Mbox.decode (Us.read_all k o) with
+    | mbox -> mbox
+    | exception Failure _ -> Mbox.empty ()
+  in
+  let id = Printf.sprintf "%d.%d" k.site (fresh_serial k) in
+  Mbox.insert mbox ~id ~stamp:(now k) ~from ~body;
+  Us.set_contents k o (Mbox.encode mbox);
+  Us.commit k o;
+  Us.close k o
+
+let mailbox_read k (proc : proc) path =
+  match Mbox.decode (read_file k proc path) with
+  | mbox -> Mbox.live mbox
+  | exception Failure _ -> []
+
+(* ---- cleanup after partition change (section 5.6's table) ---- *)
+
+(* Local resources in use remotely / remote resources in use locally. *)
+let handle_site_failure k dead =
+  (* US side: open files served by the failed SS. *)
+  Hashtbl.iter
+    (fun _ (o : ofile) ->
+      if (not o.o_closed) && Site.equal o.o_ss dead then begin
+        match o.o_mode with
+        | Proto.Mode_modify ->
+          (* Discard pages, set error in the local file descriptor. *)
+          o.o_dirty <- false;
+          o.o_closed <- true;
+          Sim.Stats.incr (stats k) "cleanup.us.update_lost";
+          record k ~tag:"cleanup" (Format.asprintf "update lost %a" Gfile.pp o.o_gf)
+        | Proto.Mode_read | Proto.Mode_internal -> (
+          (* Internal close, attempt to reopen at another site. *)
+          match Us.open_gf k o.o_gf o.o_mode with
+          | o' ->
+            o.o_ss <- o'.o_ss;
+            o.o_info <- o'.o_info;
+            Hashtbl.remove k.open_files (o'.o_gf, o'.o_serial);
+            Sim.Stats.incr (stats k) "cleanup.us.reopened";
+            record k ~tag:"cleanup"
+              (Format.asprintf "reopened %a at %a" Gfile.pp o.o_gf Site.pp o'.o_ss)
+          | exception Error _ ->
+            o.o_closed <- true;
+            Sim.Stats.incr (stats k) "cleanup.us.read_lost")
+      end)
+    k.open_files;
+  (* SS side: opens served to USs at the failed site. *)
+  let to_drop = ref [] in
+  Hashtbl.iter
+    (fun gf (s : ss_open) ->
+      if List.mem_assoc dead s.s_uss then begin
+        s.s_uss <- List.remove_assoc dead s.s_uss;
+        if s.s_uss = [] then begin
+          (match s.s_shadow with
+          | Some session ->
+            (* Discard pages, close file and abort updates. *)
+            Storage.Shadow.abort session;
+            s.s_shadow <- None;
+            Sim.Stats.incr (stats k) "cleanup.ss.aborted";
+            record k ~tag:"cleanup" (Format.asprintf "aborted update %a" Gfile.pp gf)
+          | None -> ());
+          to_drop := gf :: !to_drop
+        end
+      end)
+    k.ss_opens;
+  List.iter (fun gf -> Hashtbl.remove k.ss_opens gf) !to_drop;
+  (* CSS side: lock table entries owned by the failed site. *)
+  Css.drop_site k dead;
+  (* Tokens and processes. *)
+  Tokens.handle_site_failure k dead;
+  Process.handle_site_failure k dead
+
+let cache_stats k =
+  (Storage.Cache.hits k.us_cache, Storage.Cache.misses k.us_cache)
+
+(* ---- crash and restart ---- *)
+
+(* A crash destroys all volatile state: incore inodes, open shadow
+   sessions (their pages become unreachable orphans on disk), caches,
+   processes, tokens, and CSS bookkeeping. The packs (the disks) survive. *)
+let crash k =
+  k.alive <- false;
+  Hashtbl.iter
+    (fun _ (s : ss_open) ->
+      match s.s_shadow with
+      | Some session -> Storage.Shadow.crash_before_switch session
+      | None -> ())
+    k.ss_opens;
+  Hashtbl.reset k.ss_opens;
+  Hashtbl.reset k.ss_slots;
+  Hashtbl.reset k.open_files;
+  Hashtbl.reset k.css_state;
+  Hashtbl.reset k.shared_fds;
+  Hashtbl.reset k.procs;
+  Hashtbl.reset k.pipe_bufs;
+  Storage.Cache.clear k.us_cache;
+  Queue.clear k.prop_queue;
+  k.prop_pending <- Gfile.Set.empty;
+  k.site_table <- [ k.site ];
+  record k ~tag:"crash" "volatile state lost"
+
+(* Restart: bring the kernel back up and salvage the disks — orphaned
+   shadow pages left by the crash are reclaimed. Rejoining the network is
+   the merge protocol's job. *)
+let restart k =
+  k.alive <- true;
+  let reclaimed =
+    Hashtbl.fold (fun _ pack acc -> acc + Storage.Pack.scavenge pack) k.packs 0
+  in
+  record k ~tag:"restart" (Printf.sprintf "%d orphan pages reclaimed" reclaimed);
+  reclaimed

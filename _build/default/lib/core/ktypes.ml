@@ -1,0 +1,228 @@
+(* Kernel state shared by every module of the core library.
+
+   One [t] is the resident LOCUS kernel of one site. A site can
+   simultaneously play the three logical roles of section 2.3.1 — using
+   site (US), storage site (SS) and current synchronization site (CSS) —
+   so the kernel holds the state for all three, keyed by filegroup and
+   file. *)
+
+module Engine = Sim.Engine
+module Vvec = Vv.Version_vector
+module Site = Net.Site
+module Gfile = Catalog.Gfile
+
+exception Error of Proto.errno * string
+
+let err errno fmt = Format.kasprintf (fun s -> raise (Error (errno, s))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, s) ->
+      Some (Printf.sprintf "Locus error %s: %s" (Proto.errno_to_string e) s)
+    | _ -> None)
+
+type config = {
+  readahead : bool;          (* one-page readahead on sequential reads (2.3.3) *)
+  use_cache : bool;          (* cache remote pages at the US *)
+  cache_capacity : int;      (* US page-cache entries *)
+  propagation_delay : float; (* ms before the kernel propagation process runs a pull *)
+}
+
+let default_config =
+  { readahead = true; use_cache = true; cache_capacity = 256; propagation_delay = 2.0 }
+
+(* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
+
+type css_file = {
+  mutable latest_vv : Vvec.t;
+  mutable site_vv : Vvec.t Site.Map.t; (* every site storing a copy, with its version *)
+  mutable readers : (Site.t * int) list; (* open-for-read counts per US *)
+  mutable writer : Site.t option;        (* at most one open for modification *)
+  mutable writer_ss : Site.t option;     (* the single SS while a writer exists *)
+  mutable css_deleted : bool;
+  mutable css_conflict : bool; (* unresolved version conflict: normal opens fail (4.6) *)
+}
+
+type css_fg = { css_files : (int, css_file) Hashtbl.t }
+
+(* ---- US state: incore inodes for open files (2.3.3) ---- *)
+
+type ofile = {
+  o_gf : Gfile.t;
+  o_serial : int;  (* distinguishes simultaneous opens of the same file *)
+  o_mode : Proto.open_mode;
+  mutable o_ss : Site.t;
+  mutable o_info : Proto.inode_info;
+  mutable o_nocache : bool; (* concurrent writer somewhere: bypass the US cache *)
+  mutable o_dirty : bool;   (* uncommitted modifications have been sent to the SS *)
+  mutable o_last_lpage : int; (* last page read, drives sequential readahead *)
+  mutable o_guess : int; (* the SS's incore-inode slot, sent with page reads *)
+  mutable o_closed : bool;
+}
+
+(* ---- SS state: served opens and shadow sessions (2.3.5/2.3.6) ---- *)
+
+type ss_open = {
+  s_gf : Gfile.t;
+  s_slot : int; (* incore-inode slot; shipped to USs as their read guess (2.3.3) *)
+  mutable s_shadow : Storage.Shadow.t option;
+  mutable s_uss : (Site.t * int) list; (* using sites currently served, with counts *)
+  mutable s_others : Site.t list; (* other storing sites, for commit notifications *)
+}
+
+(* ---- shared file descriptors and their offset tokens (3.2) ---- *)
+
+type fd_key = int * int (* origin site, serial *)
+
+type shared_fd = {
+  f_key : fd_key;
+  f_gf : Gfile.t;
+  f_mode : Proto.open_mode;
+  mutable f_offset : int;     (* meaningful only where the token is *)
+  mutable f_holder : Site.t;  (* manager's view of the current token holder *)
+  mutable f_valid : bool;     (* this site currently holds the token *)
+  mutable f_refs : int;       (* local fd-table references *)
+  mutable f_ofile : ofile option; (* this site's own open handle on the file *)
+}
+
+(* ---- processes (3) ---- *)
+
+type proc_status = Running | Exited of int
+
+type proc = {
+  pid : int;
+  mutable p_site : Site.t;
+  mutable p_parent : (int * Site.t) option;
+  mutable p_uid : string;
+  mutable p_cwd : Gfile.t;
+  mutable p_context : string list; (* hidden-directory context, e.g. ["vax"] *)
+  mutable p_ncopies : int;         (* inherited default replication factor (2.3.7) *)
+  mutable p_advice : Site.t list;
+  (* execution-site advice list (3.1): first reachable entry wins *)
+  p_fds : (int, fd_key) Hashtbl.t;
+  mutable p_next_fd : int;
+  mutable p_status : proc_status;
+  mutable p_children : (int * Site.t) list;
+  mutable p_signals : int list;    (* delivered signals, newest first *)
+  mutable p_zombies : (int * int) list; (* exited children awaiting wait() *)
+  mutable p_err_info : string option; (* extra error info, read by a new call (3.3) *)
+  mutable p_image_pages : int;     (* process image size, charged on fork/exec *)
+}
+
+(* ---- per-filegroup replicated configuration ---- *)
+
+type fg_info = {
+  fg : int;
+  mutable css_site : Site.t;
+  mutable pack_sites : Site.t list; (* sites with a physical container of this fg *)
+}
+
+(* ---- the kernel ---- *)
+
+type t = {
+  site : Site.t;
+  machine_type : string; (* cpu type, selects hidden-directory entries (2.4.1) *)
+  engine : Engine.t;
+  net : (Proto.req, Proto.resp) Net.Netsim.t;
+  config : config;
+  mount : Catalog.Mount.t;
+  mutable fg_table : fg_info list;
+  packs : (int, Storage.Pack.t) Hashtbl.t;       (* fg -> local physical container *)
+  css_state : (int, css_fg) Hashtbl.t;           (* fgs this site is CSS for *)
+  open_files : (Gfile.t * int, ofile) Hashtbl.t; (* US incore inodes, by (file, serial) *)
+  ss_opens : (Gfile.t, ss_open) Hashtbl.t;       (* SS-side serving state *)
+  ss_slots : (int, Gfile.t) Hashtbl.t;           (* incore-inode slot -> file *)
+  us_cache : (Gfile.t * int * string) Storage.Cache.t; (* (file, lpage, vv) -> page *)
+  mutable prop_pending : Gfile.Set.t;
+  prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
+  (* file, target version, modified pages ([] = whole file), retries left *)
+  shared_fds : (fd_key, shared_fd) Hashtbl.t;
+  procs : (int, proc) Hashtbl.t;
+  pipe_bufs : (Gfile.t, string ref) Hashtbl.t;   (* SS-side fifo contents *)
+  mutable next_serial : int;
+  mutable dispatch : Site.t -> Proto.req -> Proto.resp;
+  (* local fast path into this kernel's own message handler *)
+  mutable extra_handler : Site.t -> Proto.req -> Proto.resp option;
+  (* reconfiguration-protocol handlers, installed by the recovery layer *)
+  mutable site_table : Site.t list; (* believed-up sites: this site's partition *)
+  mutable alive : bool;
+  mutable recon_stage : int; (* reconfiguration stage, for section 5.7 ordering *)
+}
+
+let now k = Engine.now k.engine
+
+let stats k = Engine.stats k.engine
+
+let latency k = Net.Netsim.latency k.net
+
+let charge k dt = Engine.charge k.engine dt
+
+let charge_disk_read k = charge k (latency k).Net.Latency.disk_read
+
+let charge_disk_write k = charge k (latency k).Net.Latency.disk_write
+
+let charge_cpu_page k = charge k (latency k).Net.Latency.cpu_page
+
+let record k ~tag detail =
+  Engine.record k.engine ~tag (Printf.sprintf "%s %s" (Site.to_string k.site) detail)
+
+let fg_info k fg =
+  match List.find_opt (fun fi -> fi.fg = fg) k.fg_table with
+  | Some fi -> fi
+  | None -> err Proto.Einval "unknown filegroup %d" fg
+
+let local_pack k fg = Hashtbl.find_opt k.packs fg
+
+let local_pack_exn k fg =
+  match local_pack k fg with
+  | Some p -> p
+  | None -> err Proto.Eio "site %a has no pack for filegroup %d" Site.pp k.site fg
+
+let in_partition k site = List.mem site k.site_table
+
+let fresh_serial k =
+  let n = k.next_serial in
+  k.next_serial <- n + 1;
+  n
+
+(* Remote procedure call to another kernel; collocated roles short-circuit to
+   a procedure call through [dispatch] (section 2.3.2). *)
+let rpc k dst req =
+  if not k.alive then err Proto.Enet "site %a is down" Site.pp k.site;
+  match
+    Net.Netsim.call k.net ~tag:(Proto.req_tag req) ~src:k.site ~dst
+      ~req_bytes:(Proto.req_bytes req) ~resp_bytes:Proto.resp_bytes req
+  with
+  | resp -> resp
+  | exception Net.Netsim.Unreachable (_, d) ->
+    err Proto.Enet "site %a unreachable" Site.pp d
+
+(* One-way notification; losses are silent (the commit protocol tolerates
+   them: recovery reconciles). *)
+let notify k dst req =
+  if k.alive then
+    Net.Netsim.send k.net ~tag:(Proto.req_tag req) ~src:k.site ~dst
+      ~bytes:(Proto.req_bytes req) req
+
+(* SS serving-state bookkeeping, shared by the SS handlers and the CSS
+   (which must register remote using sites when it selects itself). *)
+let ss_find_open k gf = Hashtbl.find_opt k.ss_opens gf
+
+let ss_get_open k gf =
+  match ss_find_open k gf with
+  | Some s -> s
+  | None ->
+    let slot = fresh_serial k in
+    let s = { s_gf = gf; s_slot = slot; s_shadow = None; s_uss = []; s_others = [] } in
+    Hashtbl.add k.ss_opens gf s;
+    Hashtbl.replace k.ss_slots slot gf;
+    s
+
+let ss_add_us s us =
+  let n = try List.assoc us s.s_uss with Not_found -> 0 in
+  s.s_uss <- (us, n + 1) :: List.remove_assoc us s.s_uss
+
+let expect_ok = function
+  | Proto.R_ok -> ()
+  | Proto.R_err e -> err e "remote operation failed"
+  | _ -> err Proto.Eio "unexpected response"

@@ -1,0 +1,203 @@
+(** Kernel state shared by every module of the core library.
+
+    One {!t} is the resident LOCUS kernel of one site. A site can
+    simultaneously play the three logical roles of §2.3.1 — using site
+    (US), storage site (SS) and current synchronization site (CSS) — so
+    the kernel holds the state for all three, keyed by filegroup and
+    file. *)
+
+module Engine = Sim.Engine
+module Vvec = Vv.Version_vector
+module Site = Net.Site
+module Gfile = Catalog.Gfile
+
+exception Error of Proto.errno * string
+(** Every kernel failure, local or reflected from a remote site (§3.3). *)
+
+val err : Proto.errno -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  readahead : bool;          (** one-page readahead on sequential reads (§2.3.3) *)
+  use_cache : bool;          (** buffer remote pages at the US *)
+  cache_capacity : int;      (** US page-cache entries *)
+  propagation_delay : float; (** ms before the propagation kernel process runs *)
+}
+
+val default_config : config
+
+(** {1 CSS state: synchronization and version bookkeeping (§2.3.1)} *)
+
+type css_file = {
+  mutable latest_vv : Vvec.t;
+  mutable site_vv : Vvec.t Site.Map.t;
+      (** every site storing a copy, with the version it holds *)
+  mutable readers : (Site.t * int) list; (** open-for-read counts per US *)
+  mutable writer : Site.t option;        (** at most one open for modification *)
+  mutable writer_ss : Site.t option;     (** the single SS while a writer exists *)
+  mutable css_deleted : bool;
+  mutable css_conflict : bool;
+      (** unresolved version conflict: normal opens fail (§4.6) *)
+}
+
+type css_fg = { css_files : (int, css_file) Hashtbl.t }
+
+(** {1 US state: incore inodes for open files (§2.3.3)} *)
+
+type ofile = {
+  o_gf : Gfile.t;
+  o_serial : int; (** distinguishes simultaneous opens of the same file *)
+  o_mode : Proto.open_mode;
+  mutable o_ss : Site.t;
+  mutable o_info : Proto.inode_info;
+  mutable o_nocache : bool; (** a writer is active: bypass the US cache *)
+  mutable o_dirty : bool;   (** uncommitted modifications sent to the SS *)
+  mutable o_last_lpage : int; (** drives the sequential readahead *)
+  mutable o_guess : int; (** the SS's incore-inode slot, sent with page reads *)
+  mutable o_closed : bool;
+}
+
+(** {1 SS state: served opens and shadow sessions (§2.3.5, §2.3.6)} *)
+
+type ss_open = {
+  s_gf : Gfile.t;
+  s_slot : int; (** incore-inode slot; shipped to USs as their read guess *)
+  mutable s_shadow : Storage.Shadow.t option;
+  mutable s_uss : (Site.t * int) list; (** using sites currently served *)
+  mutable s_others : Site.t list; (** other storing sites, for commit notifications *)
+}
+
+(** {1 Shared file descriptors and their offset tokens (§3.2)} *)
+
+type fd_key = int * int
+(** Shared-descriptor identity: origin site, serial. The origin site
+    manages the token. *)
+
+type shared_fd = {
+  f_key : fd_key;
+  f_gf : Gfile.t;
+  f_mode : Proto.open_mode;
+  mutable f_offset : int;    (** meaningful only where the token is *)
+  mutable f_holder : Site.t; (** manager's view of the current holder *)
+  mutable f_valid : bool;    (** this site currently holds the token *)
+  mutable f_refs : int;      (** local fd-table references *)
+  mutable f_ofile : ofile option; (** this site's own open handle *)
+}
+
+(** {1 Processes (§3)} *)
+
+type proc_status = Running | Exited of int
+
+type proc = {
+  pid : int;
+  mutable p_site : Site.t;
+  mutable p_parent : (int * Site.t) option;
+  mutable p_uid : string;
+  mutable p_cwd : Gfile.t;
+  mutable p_context : string list; (** hidden-directory context (§2.4.1) *)
+  mutable p_ncopies : int; (** inherited default replication factor (§2.3.7) *)
+  mutable p_advice : Site.t list;
+      (** execution-site advice list (§3.1): first reachable entry wins *)
+  p_fds : (int, fd_key) Hashtbl.t;
+  mutable p_next_fd : int;
+  mutable p_status : proc_status;
+  mutable p_children : (int * Site.t) list;
+  mutable p_signals : int list; (** delivered signals, newest first *)
+  mutable p_zombies : (int * int) list; (** exited children awaiting wait() *)
+  mutable p_err_info : string option;
+      (** details of a reflected remote failure, read by a new call (§3.3) *)
+  mutable p_image_pages : int; (** image size, shipped by a remote fork *)
+}
+
+(** {1 Per-filegroup replicated configuration} *)
+
+type fg_info = {
+  fg : int;
+  mutable css_site : Site.t;
+  mutable pack_sites : Site.t list;
+      (** sites with a physical container of this filegroup *)
+}
+
+(** {1 The kernel} *)
+
+type t = {
+  site : Site.t;
+  machine_type : string; (** cpu type; selects hidden-directory entries *)
+  engine : Engine.t;
+  net : (Proto.req, Proto.resp) Net.Netsim.t;
+  config : config;
+  mount : Catalog.Mount.t; (** the replicated mount table (§2.1) *)
+  mutable fg_table : fg_info list;
+  packs : (int, Storage.Pack.t) Hashtbl.t;
+  css_state : (int, css_fg) Hashtbl.t;
+  open_files : (Gfile.t * int, ofile) Hashtbl.t;
+  ss_opens : (Gfile.t, ss_open) Hashtbl.t;
+  ss_slots : (int, Gfile.t) Hashtbl.t; (** incore-inode slot → file *)
+  us_cache : (Gfile.t * int * string) Storage.Cache.t;
+      (** (file, page, version) → page: stale versions miss naturally *)
+  mutable prop_pending : Gfile.Set.t;
+  prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
+      (** file, target version, modified pages ([] = all), retries left *)
+  shared_fds : (fd_key, shared_fd) Hashtbl.t;
+  procs : (int, proc) Hashtbl.t;
+  pipe_bufs : (Gfile.t, string ref) Hashtbl.t;
+  mutable next_serial : int;
+  mutable dispatch : Site.t -> Proto.req -> Proto.resp;
+      (** local fast path into this kernel's own message handler *)
+  mutable extra_handler : Site.t -> Proto.req -> Proto.resp option;
+      (** reconfiguration handlers, installed by the recovery layer *)
+  mutable site_table : Site.t list; (** believed-up sites: this partition *)
+  mutable alive : bool;
+  mutable recon_stage : int; (** reconfiguration stage, for §5.7 ordering *)
+}
+
+(** {1 Helpers} *)
+
+val now : t -> float
+(** Simulated time, ms. *)
+
+val stats : t -> Sim.Stats.t
+
+val latency : t -> Net.Latency.t
+
+val charge : t -> float -> unit
+
+val charge_disk_read : t -> unit
+
+val charge_disk_write : t -> unit
+
+val charge_cpu_page : t -> unit
+
+val record : t -> tag:string -> string -> unit
+(** Append a protocol-trace event, prefixed with this site. *)
+
+val fg_info : t -> int -> fg_info
+(** Raises [EINVAL] for an unknown filegroup. *)
+
+val local_pack : t -> int -> Storage.Pack.t option
+
+val local_pack_exn : t -> int -> Storage.Pack.t
+
+val in_partition : t -> Site.t -> bool
+
+val fresh_serial : t -> int
+
+val rpc : t -> Site.t -> Proto.req -> Proto.resp
+(** Remote procedure call to another kernel; collocated roles
+    short-circuit to a procedure call (§2.3.2). Raises [ENET] on
+    unreachability. *)
+
+val notify : t -> Site.t -> Proto.req -> unit
+(** One-way message; losses are silent (recovery reconciles). *)
+
+val ss_find_open : t -> Gfile.t -> ss_open option
+
+val ss_get_open : t -> Gfile.t -> ss_open
+(** Find-or-create the SS serving state (allocating its incore slot). *)
+
+val ss_add_us : ss_open -> Site.t -> unit
+
+val expect_ok : Proto.resp -> unit
+(** Raise on [R_err]; accept [R_ok]. *)

@@ -1,0 +1,184 @@
+(* Pathname searching (section 2.3.4) and hidden directories (2.4.1).
+
+   Resolution walks the tree one component at a time. Each directory is
+   opened with an *internal unsynchronized read*: no global locking, and if
+   the directory is stored locally with no propagations pending, it is
+   searched without informing the CSS at all. Filegroup boundaries are
+   crossed through the replicated mount table.
+
+   Hidden directories implement context-sensitive names: when pathname
+   search hits one, the process's per-process context list selects which
+   entry to descend into, unless the caller escapes with an explicit
+   '@entry' component. *)
+
+open Ktypes
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Dir = Catalog.Dir
+module Mount = Catalog.Mount
+
+let split_path path = String.split_on_char '/' path |> List.filter (fun c -> c <> "")
+
+(* Internal unsynchronized open through the CSS. *)
+let load_dir_remote k gf =
+  let o = Us.open_gf k gf Proto.Mode_internal in
+  let body = Us.read_all k o in
+  let ftype = o.o_info.Proto.i_ftype in
+  Us.close k o;
+  (ftype, body)
+
+(* Load a directory's contents and type. Local fast path per section 2.3.4;
+   otherwise internal open through the CSS. The [bool] tells the caller
+   whether the fast path was used (its copy may be momentarily stale, so a
+   lookup miss warrants a synchronized retry). *)
+let load_dir_checked k gf =
+  let fast =
+    match local_pack k gf.Gfile.fg with
+    | Some pack when not (Gfile.Set.mem gf k.prop_pending) -> (
+      match Pack.find_inode pack gf.Gfile.ino with
+      | Some inode when not inode.Inode.deleted ->
+        charge_disk_read k;
+        Some (inode.Inode.ftype, Pack.read_string pack inode)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  match fast with
+  | Some (ftype, body) -> (ftype, body, true)
+  | None ->
+    let ftype, body = load_dir_remote k gf in
+    (ftype, body, false)
+
+let load_dir k gf =
+  let ftype, body, _ = load_dir_checked k gf in
+  (ftype, body)
+
+let dir_of_body body = try Dir.decode body with Failure _ -> Dir.empty ()
+
+(* Descend one link: apply mount crossing after a successful lookup. *)
+let enter k ~fg ino =
+  let gf = Gfile.make ~fg ~ino in
+  match Mount.mounted_at k.mount gf with
+  | Some child_fg -> Gfile.make ~fg:child_fg ~ino:Mount.root_ino
+  | None -> gf
+
+let dotdot k gf dir =
+  match Dir.lookup dir ".." with
+  | Some ino -> Gfile.make ~fg:gf.Gfile.fg ~ino
+  | None -> ignore k; gf
+
+(* Select the entry of a hidden directory using the per-process context
+   list; the first context name bound in the directory wins. *)
+let select_context k ~context gf dir =
+  let rec first = function
+    | [] ->
+      err Proto.Enoent "no context entry in hidden directory %a (context: %s)"
+        Gfile.pp gf
+        (String.concat "," context)
+    | ctx :: rest -> (
+      match Dir.lookup dir ctx with
+      | Some ino -> enter k ~fg:gf.Gfile.fg ino
+      | None -> first rest)
+  in
+  first context
+
+(* Resolve [path] to a gfile. [context] is the hidden-directory context of
+   the calling process; [follow_hidden] controls whether a *final* hidden
+   directory is transparently expanded (commands want the load module;
+   administrative tools escape to see the directory itself). *)
+let resolve_from k ~cwd ~context ?(follow_hidden = true) path =
+  let start =
+    if String.length path > 0 && path.[0] = '/' then Mount.root k.mount else cwd
+  in
+  let rec walk gf comps =
+    match comps with
+    | [] ->
+      if follow_hidden then begin
+        (* A final hidden directory expands under the process context; the
+           check interrogates only the descriptor, not the data. *)
+        match Us.stat_gf k gf with
+        | { Proto.i_ftype = Inode.Hidden_directory; _ } ->
+          let _, body = load_dir k gf in
+          select_context k ~context gf (dir_of_body body)
+        | { Proto.i_ftype =
+              ( Inode.Regular | Inode.Directory | Inode.Mailbox | Inode.Database
+              | Inode.Fifo );
+            _
+          } ->
+          gf
+        | exception Error _ -> gf
+      end
+      else gf
+    | comp :: rest -> (
+      let ftype, body, fast = load_dir_checked k gf in
+      let dir = dir_of_body body in
+      (* A miss against a fast-path (possibly stale) local copy is retried
+         once against a synchronized copy before reporting ENOENT. *)
+      let lookup_refreshing name =
+        match Dir.lookup dir name with
+        | Some ino -> Some ino
+        | None when fast ->
+          let _, body = load_dir_remote k gf in
+          Dir.lookup (dir_of_body body) name
+        | None -> None
+      in
+      match ftype with
+      | Inode.Directory -> (
+        match comp with
+        | "." -> walk gf rest
+        | ".." when gf.Gfile.ino = Mount.root_ino -> (
+          (* ".." out of a filegroup root crosses the mount boundary: it
+             names the *parent of the mount point* in the covering
+             filegroup, so resolution restarts at the mount point with the
+             ".." still pending. *)
+          match Mount.mount_point_of k.mount gf.Gfile.fg with
+          | Some point -> walk point comps
+          | None -> walk gf rest (* ".." of the global root is itself *))
+        | ".." -> walk (dotdot k gf dir) rest
+        | _ -> (
+          match lookup_refreshing comp with
+          | Some ino -> walk (enter k ~fg:gf.Gfile.fg ino) rest
+          | None -> err Proto.Enoent "%s: no such entry in %a" comp Gfile.pp gf))
+      | Inode.Hidden_directory ->
+        (* The escape mechanism: an explicit '@name' component picks an
+           entry and makes the hidden directory visible; otherwise the
+           context chooses and the component is *not* consumed. *)
+        if String.length comp > 0 && comp.[0] = '@' then begin
+          let name = String.sub comp 1 (String.length comp - 1) in
+          match Dir.lookup dir name with
+          | Some ino -> walk (enter k ~fg:gf.Gfile.fg ino) rest
+          | None -> err Proto.Enoent "@%s: no such hidden entry" name
+        end
+        else walk (select_context k ~context gf dir) comps
+      | Inode.Regular | Inode.Mailbox | Inode.Database | Inode.Fifo ->
+        err Proto.Enotdir "%a is not a directory" Gfile.pp gf)
+  in
+  walk start (split_path path)
+
+(* Resolve all but the last component; returns the parent directory's gfile
+   and the final name. Used by create/unlink/mkdir. A leading '@' on the
+   final component is the hidden-directory escape: "/bin/who/@vax" names
+   the entry "vax" inside the hidden directory /bin/who. *)
+let resolve_parent k ~cwd ~context path =
+  match List.rev (split_path path) with
+  | [] -> err Proto.Einval "empty pathname"
+  | last :: rev_prefix ->
+    let prefix = List.rev rev_prefix in
+    let dir_path =
+      (if String.length path > 0 && path.[0] = '/' then "/" else "")
+      ^ String.concat "/" prefix
+    in
+    let dir_gf = resolve_from k ~cwd ~context ~follow_hidden:false dir_path in
+    let last =
+      if String.length last > 1 && last.[0] = '@' then
+        String.sub last 1 (String.length last - 1)
+      else last
+    in
+    (dir_gf, last)
+
+(* Read a directory's live entries (for readdir / ls). *)
+let read_directory k gf =
+  let ftype, body = load_dir k gf in
+  match ftype with
+  | Inode.Directory | Inode.Hidden_directory -> dir_of_body body
+  | Inode.Regular | Inode.Mailbox | Inode.Database | Inode.Fifo ->
+    err Proto.Enotdir "%a is not a directory" Gfile.pp gf

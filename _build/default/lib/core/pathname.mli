@@ -1,0 +1,44 @@
+(** Pathname searching (§2.3.4) and hidden directories (§2.4.1).
+
+    Resolution walks the naming tree one component at a time with internal
+    unsynchronized directory reads: a locally stored directory with no
+    pending propagation is searched without contacting the CSS at all (a
+    lookup miss against such a possibly-stale copy is retried once against
+    a synchronized copy). Filegroup boundaries are crossed through the
+    replicated mount table, in both directions. *)
+
+val split_path : string -> string list
+
+val load_dir : Ktypes.t -> Catalog.Gfile.t -> Storage.Inode.ftype * string
+(** A directory's type and raw contents, via the local fast path or an
+    internal open. *)
+
+val dir_of_body : string -> Catalog.Dir.t
+
+val resolve_from :
+  Ktypes.t ->
+  cwd:Catalog.Gfile.t ->
+  context:string list ->
+  ?follow_hidden:bool ->
+  string ->
+  Catalog.Gfile.t
+(** Resolve [path] (absolute or cwd-relative). [context] selects hidden-
+    directory entries; an explicit ["@name"] component escapes. When
+    [follow_hidden] (default true), a *final* hidden directory expands
+    under the context — commands resolve to their machine's load module. *)
+
+val resolve_parent :
+  Ktypes.t ->
+  cwd:Catalog.Gfile.t ->
+  context:string list ->
+  string ->
+  Catalog.Gfile.t * string
+(** Resolve all but the last component; returns the parent directory and
+    the final name (with the '@' escape stripped). *)
+
+val read_directory : Ktypes.t -> Catalog.Gfile.t -> Catalog.Dir.t
+(** Parse a directory's contents; raises [ENOTDIR] on other types. *)
+
+val select_context :
+  Ktypes.t -> context:string list -> Catalog.Gfile.t -> Catalog.Dir.t -> Catalog.Gfile.t
+(** First context name bound in a hidden directory. *)

@@ -1,0 +1,210 @@
+(* Background update propagation (section 2.3.6).
+
+   Propagation is done by *pulling*: a kernel process at each storage site
+   services a queue of propagation requests. A pull internally opens the
+   file at a site holding the latest version, issues standard read messages
+   for all (or just the modified) pages, and commits locally through the
+   standard shadow-page mechanism — so a pull interrupted by partition
+   leaves a coherent, complete (if stale) copy. *)
+
+open Ktypes
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Shadow = Storage.Shadow
+module Page = Storage.Page
+
+(* Is [local] exactly the version [target] was derived from by one commit at
+   [origin]? Then pulling just the modified pages is sufficient. *)
+let one_commit_behind ~local ~target ~origin =
+  Vvec.equal (Vvec.bump local origin) target
+
+let local_vv k gf =
+  match local_pack k gf.Gfile.fg with
+  | None -> None
+  | Some pack ->
+    Pack.find_inode pack gf.Gfile.ino
+    |> Option.map (fun (i : Inode.t) -> i.Inode.vv)
+
+(* Tell the CSS that this site now stores [vv] (fresh=false: a completed
+   propagation, not a new commit). *)
+let report_to_css k gf vv ~deleted =
+  let fi = fg_info k gf.Gfile.fg in
+  if Site.equal fi.css_site k.site then
+    Css.handle_commit_notify k gf ~origin:k.site ~vv ~deleted
+  else
+    notify k fi.css_site
+      (Proto.Commit_notify
+         { gf; vv; meta_only = false; modified = []; origin = k.site; fresh = false;
+           deleted; designate = false; replicas = [] })
+
+let apply_delete k pack gf ~vv =
+  match Pack.find_inode pack gf.Gfile.ino with
+  | None -> ()
+  | Some inode ->
+    if Vvec.conflict inode.Inode.vv vv then
+      (* Deleted in one partition, modified in another: the file wants to
+         be saved (section 4.4); leave it for reconciliation. *)
+      record k ~tag:"prop.conflict" (Gfile.to_string gf)
+    else if not (Vvec.dominates_or_equal inode.Inode.vv vv) then begin
+      let session = Shadow.begin_modify pack gf.Gfile.ino in
+      Shadow.set_contents session "";
+      Shadow.mark_deleted session ~time:(now k);
+      charge_disk_write k;
+      Shadow.commit session ~vv ~mtime:(now k);
+      record k ~tag:"prop.delete" (Gfile.to_string gf);
+      report_to_css k gf vv ~deleted:true
+    end
+
+(* Pull the current version of [gf] from [source]. Uses the standard stat +
+   page-read messages; charges disk costs through the normal paths. *)
+let pull_from k pack gf ~source ~modified =
+  match rpc k source (Proto.Stat_req { gf }) with
+  | Proto.R_stat { info = Some info; _ } ->
+    if info.Proto.i_deleted then begin
+      apply_delete k pack gf ~vv:info.Proto.i_vv;
+      true
+    end
+    else begin
+      (* Make sure a local descriptor exists, then shadow in the data. *)
+      (match Pack.find_inode pack gf.Gfile.ino with
+      | Some _ -> ()
+      | None ->
+        let inode =
+          Inode.create ~ino:gf.Gfile.ino ~ftype:info.Proto.i_ftype
+            ~owner:info.Proto.i_owner
+        in
+        Pack.install_inode pack inode);
+      let local = Pack.get_inode pack gf.Gfile.ino in
+      if Vvec.dominates_or_equal local.Inode.vv info.Proto.i_vv then true
+      else if Vvec.conflict local.Inode.vv info.Proto.i_vv then begin
+        (* Concurrent versions: never overwrite — that would lose an
+           update. Reconciliation (section 4) resolves it. *)
+        record k ~tag:"prop.conflict" (Gfile.to_string gf);
+        report_to_css k gf local.Inode.vv ~deleted:local.Inode.deleted;
+        true
+      end
+      else begin
+        let session = Shadow.begin_modify pack gf.Gfile.ino in
+        let incore = Shadow.incore session in
+        incore.Inode.ftype <- info.Proto.i_ftype;
+        incore.Inode.owner <- info.Proto.i_owner;
+        incore.Inode.perms <- info.Proto.i_perms;
+        incore.Inode.nlink <- info.Proto.i_nlink;
+        incore.Inode.deleted <- false;
+        let npages = (info.Proto.i_size + Page.size - 1) / Page.size in
+        let pages_to_pull =
+          if
+            modified <> []
+            && one_commit_behind ~local:local.Inode.vv ~target:info.Proto.i_vv
+                 ~origin:source
+          then List.filter (fun p -> p < npages) modified
+          else List.init npages Fun.id
+        in
+        let ok = ref true in
+        (try
+           List.iter
+             (fun lpage ->
+               match rpc k source (Proto.Read_page { gf; lpage; guess = 0 }) with
+               | Proto.R_page { data; _ } ->
+                 charge_disk_write k;
+                 (* Rename the network buffer and send it to secondary
+                    storage: no copy through an application space. *)
+                 Shadow.write_page session ~lpage (Page.of_string data)
+               | Proto.R_err e -> err e "propagation read failed"
+               | _ -> err Proto.Eio "unexpected response to propagation read")
+             pages_to_pull;
+           Shadow.truncate session info.Proto.i_size;
+           if info.Proto.i_size > (Shadow.incore session).Inode.size then
+             (Shadow.incore session).Inode.size <- info.Proto.i_size;
+           Shadow.commit session ~vv:info.Proto.i_vv ~mtime:info.Proto.i_mtime;
+           record k ~tag:"prop.pull"
+             (Format.asprintf "%a <- %a vv=%a (%d pages)" Gfile.pp gf Site.pp
+                source Vvec.pp info.Proto.i_vv (List.length pages_to_pull))
+         with Error _ ->
+           Shadow.abort session;
+           ok := false);
+        if !ok then report_to_css k gf info.Proto.i_vv ~deleted:false;
+        !ok
+      end
+    end
+  | Proto.R_stat { info = None; _ } -> false
+  | Proto.R_err _ -> false
+  | _ -> false
+
+(* One queued propagation request. Returns true when no retry is needed. *)
+let attempt k gf target_vv modified =
+  match local_pack k gf.Gfile.fg with
+  | None -> true (* we do not store this filegroup after all *)
+  | Some pack -> (
+    match local_vv k gf with
+    | Some vv when Vvec.dominates_or_equal vv target_vv -> true (* already current *)
+    | Some _ | None -> (
+      (* Find a source holding the latest version: ask the CSS. *)
+      let fi = fg_info k gf.Gfile.fg in
+      match rpc k fi.css_site (Proto.Where_stored { gf }) with
+      | Proto.R_where { sites; _ } -> (
+        let sources =
+          List.filter (fun s -> (not (Site.equal s k.site)) && in_partition k s) sites
+        in
+        match sources with
+        | [] -> false
+        | source :: _ -> pull_from k pack gf ~source ~modified)
+      | Proto.R_err _ -> false
+      | _ -> false
+      | exception Error (Proto.Enet, _) -> false))
+
+let rec service_queue k =
+  match Queue.take_opt k.prop_queue with
+  | None -> ()
+  | Some (gf, vv, modified, retries) ->
+    k.prop_pending <- Gfile.Set.remove gf k.prop_pending;
+    let done_ =
+      if k.alive then begin
+        try attempt k gf vv modified
+        with Error (e, m) ->
+          record k ~tag:"prop.fail"
+            (Format.asprintf "%a %s: %s" Gfile.pp gf (Proto.errno_to_string e) m);
+          false
+      end
+      else false
+    in
+    if (not done_) && retries > 0 && k.alive then begin
+      k.prop_pending <- Gfile.Set.add gf k.prop_pending;
+      Queue.add (gf, vv, modified, retries - 1) k.prop_queue;
+      Engine.schedule k.engine ~delay:(10.0 *. k.config.propagation_delay) (fun () ->
+          service_queue k)
+    end;
+    if not (Queue.is_empty k.prop_queue) then
+      Engine.schedule k.engine ~delay:k.config.propagation_delay (fun () ->
+          service_queue k)
+
+(* Called when a commit notification arrives at a storage site. A site
+   pulls only files it already stores — packs hold a subset of the
+   filegroup — unless the notification designates it as an initial storage
+   site for a new file. *)
+let enqueue k gf ~vv ~modified ~designate =
+  let interested =
+    match local_pack k gf.Gfile.fg with
+    | None -> false
+    | Some pack -> designate || Pack.stores pack gf.Gfile.ino
+  in
+  let current =
+    match local_vv k gf with
+    | Some local -> Vvec.dominates_or_equal local vv
+    | None -> false
+  in
+  if interested && (not current) && not (Gfile.Set.mem gf k.prop_pending) then begin
+    k.prop_pending <- Gfile.Set.add gf k.prop_pending;
+    Queue.add (gf, vv, modified, 3) k.prop_queue;
+    Engine.schedule k.engine ~delay:k.config.propagation_delay (fun () ->
+        service_queue k)
+  end
+
+(* Synchronously drain this kernel's propagation queue (used by recovery,
+   which schedules update propagation as part of merge). *)
+let drain k =
+  let guard = ref 0 in
+  while (not (Queue.is_empty k.prop_queue)) && !guard < 1000 do
+    incr guard;
+    service_queue k
+  done

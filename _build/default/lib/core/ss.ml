@@ -1,0 +1,363 @@
+(* Storage Site logic (sections 2.3.3, 2.3.5, 2.3.6).
+
+   The SS serves pages to using sites, receives their modification pages
+   into shadow pages, and performs the atomic commit — after which it sends
+   commit notifications to the CSS and to every other site storing the
+   file, which pull the new version in background. *)
+
+open Ktypes
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Shadow = Storage.Shadow
+module Page = Storage.Page
+
+let find_open = ss_find_open
+
+let get_open = ss_get_open
+
+let add_us = ss_add_us
+
+let drop_us s us =
+  match List.assoc_opt us s.s_uss with
+  | None -> ()
+  | Some 1 -> s.s_uss <- List.remove_assoc us s.s_uss
+  | Some n -> s.s_uss <- (us, n - 1) :: List.remove_assoc us s.s_uss
+
+(* CSS asks: will you act as storage site for this open? Refuse when we do
+   not store the file at (at least) the requested version (section 2.3.3). *)
+let handle_storage_req k gf ~vv ~us ~others =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_storage { accept = false; info = None; slot = 0 }
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | None -> Proto.R_storage { accept = false; info = None; slot = 0 }
+    | Some inode ->
+      if inode.Inode.deleted then Proto.R_storage { accept = false; info = None; slot = 0 }
+      else if not (Vvec.dominates_or_equal inode.Inode.vv vv) then
+        (* We store only an out-of-date copy: refuse. *)
+        Proto.R_storage { accept = false; info = None; slot = 0 }
+      else begin
+        let s = get_open k gf in
+        add_us s us;
+        s.s_others <- others;
+        charge_disk_read k;
+        Proto.R_storage
+          { accept = true; info = Some (Proto.info_of_inode inode); slot = s.s_slot }
+      end)
+
+let session_or_inode_page k pack gf lpage =
+  match find_open k gf with
+  | Some { s_shadow = Some session; _ } -> Shadow.read_page session lpage
+  | Some { s_shadow = None; _ } | None ->
+    let inode = Pack.get_inode pack gf.Gfile.ino in
+    Pack.read_page pack inode lpage
+
+(* Serve one page (the network read protocol, section 2.3.3). The guess
+   locates the incore inode without a lookup when it is still valid. *)
+let handle_read_page ?(guess = 0) k gf lpage =
+  (match Hashtbl.find_opt k.ss_slots guess with
+  | Some g when Gfile.equal g gf -> Sim.Stats.incr (stats k) "ss.guess.hit"
+  | Some _ | None -> Sim.Stats.incr (stats k) "ss.guess.miss");
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | None -> Proto.R_err Proto.Enoent
+    | Some inode ->
+      charge_disk_read k;
+      let page = session_or_inode_page k pack gf lpage in
+      let size =
+        match find_open k gf with
+        | Some { s_shadow = Some session; _ } -> (Shadow.incore session).Inode.size
+        | Some { s_shadow = None; _ } | None -> inode.Inode.size
+      in
+      let remaining = size - (lpage * Page.size) in
+      let len = max 0 (min Page.size remaining) in
+      let eof = (lpage + 1) * Page.size >= size in
+      Proto.R_page { data = Page.sub page 0 len; eof })
+
+let ensure_session k pack gf =
+  let s = get_open k gf in
+  match s.s_shadow with
+  | Some session -> session
+  | None ->
+    let session = Shadow.begin_modify pack gf.Gfile.ino in
+    s.s_shadow <- Some session;
+    session
+
+(* Invalidate buffered copies at the other using sites we serve: the
+   page-valid token mechanism (section 3.2). *)
+let invalidate_others k gf ~writer lpage =
+  match find_open k gf with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (us, _) ->
+        if (not (Site.equal us writer)) && not (Site.equal us k.site) then
+          notify k us (Proto.Page_invalidate { gf; lpage }))
+      s.s_uss
+
+let handle_write_page k ~src gf ~lpage ~whole ~off ~data =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | None -> Proto.R_err Proto.Enoent
+    | Some _ ->
+      let session = ensure_session k pack gf in
+      charge_disk_write k;
+      if whole then Shadow.write_page session ~lpage (Page.of_string data)
+      else Shadow.patch_page session ~lpage ~off data;
+      invalidate_others k gf ~writer:src lpage;
+      Proto.R_ok)
+
+let handle_truncate k gf ~size =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack ->
+    let session = ensure_session k pack gf in
+    Shadow.truncate session size;
+    Proto.R_ok
+
+(* The atomic commit (section 2.3.6): move the incore inode to the disk
+   inode, then notify the CSS and all other storage sites so they bring
+   their copies up to date by pulling. *)
+let handle_commit ?force_vv k gf ~abort ~delete =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    let s = get_open k gf in
+    match s.s_shadow with
+    | None when abort -> Proto.R_committed { vv = Vvec.zero }
+    | None when not delete ->
+      (* Nothing was modified: no new version is created. *)
+      let vv =
+        match Pack.find_inode pack gf.Gfile.ino with
+        | Some inode -> inode.Inode.vv
+        | None -> Vvec.zero
+      in
+      Proto.R_committed { vv }
+    | (None | Some _) when abort ->
+      (match s.s_shadow with
+      | Some session -> Shadow.abort session
+      | None -> ());
+      s.s_shadow <- None;
+      record k ~tag:"ss.abort" (Gfile.to_string gf);
+      let vv =
+        match Pack.find_inode pack gf.Gfile.ino with
+        | Some inode -> inode.Inode.vv
+        | None -> Vvec.zero
+      in
+      Proto.R_committed { vv }
+    | _ ->
+      let session =
+        match s.s_shadow with
+        | Some session -> session
+        | None -> ensure_session k pack gf
+      in
+      let modified = Shadow.modified_lpages session in
+      if delete then begin
+        Shadow.set_contents session "";
+        Shadow.mark_deleted session ~time:(now k)
+      end;
+      let old_vv = (Shadow.incore session).Inode.vv in
+      let vv =
+        match force_vv with Some v -> v | None -> Vvec.bump old_vv k.site
+      in
+      charge_disk_write k;
+      Shadow.commit session ~vv ~mtime:(now k);
+      s.s_shadow <- None;
+      record k ~tag:"ss.commit"
+        (Format.asprintf "%a vv=%a%s" Gfile.pp gf Vvec.pp vv
+           (if delete then " delete" else ""));
+      (* Notify the CSS and the other storage sites (section 2.3.6). The
+         CSS message is synchronous: the commit is not complete until the
+         synchronization site knows the new version, which is what keeps
+         the latest version the only one visible within a partition. *)
+      let fi = fg_info k gf.Gfile.fg in
+      let message =
+        Proto.Commit_notify
+          { gf; vv; meta_only = false; modified; origin = k.site; fresh = true;
+            deleted = delete; designate = false; replicas = [] }
+      in
+      if Site.equal fi.css_site k.site then
+        Css.handle_commit_notify k gf ~origin:k.site ~vv ~deleted:delete
+      else (try ignore (rpc k fi.css_site message) with Error (Proto.Enet, _) -> ());
+      List.iter
+        (fun site -> if not (Site.equal site k.site) then notify k site message)
+        s.s_others;
+      Proto.R_committed { vv })
+
+(* US close at the SS, then SS close at the CSS — the three-message close
+   protocol adopted after the reopen race was found (section 2.3.3 note). *)
+let handle_us_close k ~src gf ~mode =
+  (match find_open k gf with
+  | None -> ()
+  | Some s ->
+    drop_us s src;
+    (match s.s_shadow with
+    | Some session when s.s_uss = [] ->
+      (* The last user vanished without committing: abort the session so
+         the previous version stays coherent. *)
+      Shadow.abort session;
+      s.s_shadow <- None
+    | Some _ | None -> ());
+    if s.s_uss = [] then begin
+      Hashtbl.remove k.ss_opens gf;
+      Hashtbl.remove k.ss_slots s.s_slot
+    end);
+  let fi = fg_info k gf.Gfile.fg in
+  if Site.equal fi.css_site k.site then Css.handle_ss_close k gf ~us:src ~mode
+  else
+    rpc k fi.css_site (Proto.Ss_close { gf; ss = k.site; us = src; mode })
+
+(* Create: the placeholder arrives, we allocate the inode number from the
+   pack's partition of the inode space (section 2.3.7). *)
+let handle_create k req_fg ~ftype ~owner ~perms ~replicate_at =
+  match local_pack k req_fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack ->
+    let ino = Pack.alloc_ino pack in
+    let inode = Inode.create ~ino ~ftype ~owner in
+    inode.Inode.perms <- perms;
+    inode.Inode.vv <- Vvec.bump Vvec.zero k.site;
+    inode.Inode.mtime <- now k;
+    Pack.install_inode pack inode;
+    charge_disk_write k;
+    let gf = Gfile.make ~fg:req_fg ~ino in
+    record k ~tag:"ss.create" (Format.asprintf "%a %a" Gfile.pp gf Inode.pp_ftype ftype);
+    let fi = fg_info k req_fg in
+    let message ~designate ~replicas =
+      Proto.Commit_notify
+        {
+          gf;
+          vv = inode.Inode.vv;
+          meta_only = false;
+          modified = [];
+          origin = k.site;
+          fresh = true;
+          deleted = false;
+          designate;
+          replicas;
+        }
+    in
+    (* Register the new descriptor at the CSS synchronously so that an
+       immediately following open finds it. *)
+    if Site.equal fi.css_site k.site then
+      Css.handle_commit_notify ~replicas:replicate_at k gf ~origin:k.site
+        ~vv:inode.Inode.vv ~deleted:false
+    else ignore (rpc k fi.css_site (message ~designate:false ~replicas:replicate_at));
+    (* The other chosen initial storage sites pull their first copy. *)
+    List.iter
+      (fun site ->
+        if not (Site.equal site k.site) then
+          notify k site (message ~designate:true ~replicas:[]))
+      replicate_at;
+    Proto.R_created { ino }
+
+(* Metadata-only commit: mutate descriptor fields, bump the version and
+   notify (the "just inode information changed" case of section 2.3.6). *)
+let metadata_commit k gf mutate =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | None -> Proto.R_err Proto.Enoent
+    | Some inode ->
+      mutate inode;
+      inode.Inode.vv <- Vvec.bump inode.Inode.vv k.site;
+      inode.Inode.mtime <- now k;
+      charge_disk_write k;
+      let fi = fg_info k gf.Gfile.fg in
+      let message =
+        Proto.Commit_notify
+          {
+            gf;
+            vv = inode.Inode.vv;
+            meta_only = true;
+            modified = [];
+            origin = k.site;
+            fresh = true;
+            deleted = false;
+            designate = false;
+            replicas = [];
+          }
+      in
+      if Site.equal fi.css_site k.site then
+        Css.handle_commit_notify k gf ~origin:k.site ~vv:inode.Inode.vv ~deleted:false
+      else (try ignore (rpc k fi.css_site message) with Error (Proto.Enet, _) -> ());
+      (match find_open k gf with
+      | Some s -> List.iter (fun site -> notify k site message) s.s_others
+      | None -> ());
+      Proto.R_committed { vv = inode.Inode.vv })
+
+let handle_link_count k gf ~delta =
+  metadata_commit k gf (fun inode ->
+      inode.Inode.nlink <- max 0 (inode.Inode.nlink + delta))
+
+let handle_set_attr k gf ~perms ~owner =
+  metadata_commit k gf (fun inode ->
+      (match perms with Some p -> inode.Inode.perms <- p land 0o7777 | None -> ());
+      match owner with Some o -> inode.Inode.owner <- o | None -> ())
+
+let handle_stat k gf =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_stat { info = None; stored_here = false }
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | None -> Proto.R_stat { info = None; stored_here = false }
+    | Some inode ->
+      charge_disk_read k;
+      Proto.R_stat { info = Some (Proto.info_of_inode inode); stored_here = true })
+
+let handle_inventory k fg =
+  match local_pack k fg with
+  | None -> Proto.R_inventory { files = [] }
+  | Some pack ->
+    let files =
+      Pack.inodes pack
+      |> List.map (fun (i : Inode.t) -> (i.Inode.ino, i.Inode.vv, i.Inode.deleted))
+    in
+    Proto.R_inventory { files }
+
+let handle_reclaim k gf =
+  (match local_pack k gf.Gfile.fg with
+  | Some pack -> Pack.remove_inode pack gf.Gfile.ino
+  | None -> ());
+  Proto.R_ok
+
+(* ---- named pipes (section 2.4.2): the fifo's single SS serializes ---- *)
+
+let pipe_buf k gf =
+  match Hashtbl.find_opt k.pipe_bufs gf with
+  | Some b -> b
+  | None ->
+    let b = ref "" in
+    Hashtbl.add k.pipe_bufs gf b;
+    b
+
+let handle_pipe_write k gf data =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | Some { Inode.ftype = Inode.Fifo; _ } ->
+      let b = pipe_buf k gf in
+      b := !b ^ data;
+      Proto.R_ok
+    | Some _ -> Proto.R_err Proto.Einval
+    | None -> Proto.R_err Proto.Enoent)
+
+let handle_pipe_read k gf max =
+  match local_pack k gf.Gfile.fg with
+  | None -> Proto.R_err Proto.Eio
+  | Some pack -> (
+    match Pack.find_inode pack gf.Gfile.ino with
+    | Some { Inode.ftype = Inode.Fifo; _ } ->
+      let b = pipe_buf k gf in
+      let n = min max (String.length !b) in
+      let data = String.sub !b 0 n in
+      b := String.sub !b n (String.length !b - n);
+      Proto.R_data { data }
+    | Some _ -> Proto.R_err Proto.Einval
+    | None -> Proto.R_err Proto.Enoent)

@@ -1,0 +1,90 @@
+(** Storage Site logic (§2.3.3, §2.3.5, §2.3.6).
+
+    The SS serves pages to using sites, receives modification pages into
+    shadow pages, and performs the atomic commit — after which it notifies
+    the CSS (synchronously) and every other site storing the file, which
+    pull the new version in background. *)
+
+val find_open : Ktypes.t -> Catalog.Gfile.t -> Ktypes.ss_open option
+
+val get_open : Ktypes.t -> Catalog.Gfile.t -> Ktypes.ss_open
+
+val add_us : Ktypes.ss_open -> Net.Site.t -> unit
+
+val handle_storage_req :
+  Ktypes.t ->
+  Catalog.Gfile.t ->
+  vv:Vv.Version_vector.t ->
+  us:Net.Site.t ->
+  others:Net.Site.t list ->
+  Proto.resp
+(** "Will you act as storage site?" Refused when this pack does not store
+    the file at (at least) the requested version. *)
+
+val handle_read_page : ?guess:int -> Ktypes.t -> Catalog.Gfile.t -> int -> Proto.resp
+(** Serve one logical page (through the open shadow session when one
+    exists, giving Unix shared-file read semantics). [guess] is the US's
+    hint for locating the incore inode (§2.3.3); hits and misses are
+    counted in the statistics. *)
+
+val handle_write_page :
+  Ktypes.t ->
+  src:Net.Site.t ->
+  Catalog.Gfile.t ->
+  lpage:int ->
+  whole:bool ->
+  off:int ->
+  data:string ->
+  Proto.resp
+(** One page of modification into the shadow session; invalidates other
+    using sites' buffered copies (the page-valid tokens of §3.2). *)
+
+val handle_truncate : Ktypes.t -> Catalog.Gfile.t -> size:int -> Proto.resp
+
+val handle_commit :
+  ?force_vv:Vv.Version_vector.t ->
+  Ktypes.t ->
+  Catalog.Gfile.t ->
+  abort:bool ->
+  delete:bool ->
+  Proto.resp
+(** The atomic commit (§2.3.6): switch the incore inode in, bump the
+    version vector (or install [force_vv], recovery's merged vector), and
+    send commit notifications. [abort] discards instead; [delete] marks
+    the inode deleted first (§2.3.7). *)
+
+val handle_us_close :
+  Ktypes.t -> src:Net.Site.t -> Catalog.Gfile.t -> mode:Proto.open_mode -> Proto.resp
+(** US→SS leg of the race-free three-message close (§2.3.3 footnote);
+    forwards SS→CSS. *)
+
+val handle_create :
+  Ktypes.t ->
+  int ->
+  ftype:Storage.Inode.ftype ->
+  owner:string ->
+  perms:int ->
+  replicate_at:Net.Site.t list ->
+  Proto.resp
+(** Allocate an inode number from this pack's partition of the filegroup's
+    inode space (§2.3.7), install the descriptor, register it with the
+    CSS, and designate the other initial storage sites. *)
+
+val handle_link_count : Ktypes.t -> Catalog.Gfile.t -> delta:int -> Proto.resp
+
+val handle_set_attr :
+  Ktypes.t -> Catalog.Gfile.t -> perms:int option -> owner:string option -> Proto.resp
+(** Metadata-only commits (the "just inode information changed" case). *)
+
+val handle_stat : Ktypes.t -> Catalog.Gfile.t -> Proto.resp
+
+val handle_inventory : Ktypes.t -> int -> Proto.resp
+(** Every inode this pack stores, with versions — recovery's rebuild
+    input. *)
+
+val handle_reclaim : Ktypes.t -> Catalog.Gfile.t -> Proto.resp
+(** Release a fully-deleted inode for reallocation. *)
+
+val handle_pipe_write : Ktypes.t -> Catalog.Gfile.t -> string -> Proto.resp
+
+val handle_pipe_read : Ktypes.t -> Catalog.Gfile.t -> int -> Proto.resp

@@ -1,0 +1,138 @@
+(* The token mechanism (section 3.2).
+
+   Unix semantics make parent and child share one open-file descriptor, so
+   the current file position behaves like shared memory across machines.
+   LOCUS keeps a descriptor copy at each site, with exactly one valid at any
+   time; a token marks which. The descriptor's *origin site* manages the
+   token: a site that needs the offset asks the manager, the manager
+   retrieves the state from the current holder (invalidating its copy) and
+   grants the token to the requester. *)
+
+open Ktypes
+
+let manager_of (key : fd_key) = fst key
+
+let find_fd k key = Hashtbl.find_opt k.shared_fds key
+
+let get_fd k key =
+  match find_fd k key with
+  | Some fd -> fd
+  | None -> err Proto.Einval "unknown shared descriptor"
+
+(* Create a descriptor at its origin site: this site holds the token. *)
+let create_fd k ~gf ~mode ~ofile =
+  let key = (k.site, fresh_serial k) in
+  let fd =
+    {
+      f_key = key;
+      f_gf = gf;
+      f_mode = mode;
+      f_offset = 0;
+      f_holder = k.site;
+      f_valid = true;
+      f_refs = 1;
+      f_ofile = Some ofile;
+    }
+  in
+  Hashtbl.add k.shared_fds key fd;
+  fd
+
+(* Install a copy at a site that inherited the descriptor via fork: the
+   token stays where it was. *)
+let install_remote_fd k ~key ~gf ~mode =
+  match find_fd k key with
+  | Some fd ->
+    fd.f_refs <- fd.f_refs + 1;
+    fd
+  | None ->
+    let fd =
+      {
+        f_key = key;
+        f_gf = gf;
+        f_mode = mode;
+        f_offset = 0;
+        f_holder = manager_of key;
+        f_valid = false;
+        f_refs = 1;
+        f_ofile = None;
+      }
+    in
+    Hashtbl.add k.shared_fds key fd;
+    fd
+
+(* Manager side: grant the token to [for_site], recalling it from the
+   current holder first. *)
+let handle_token_req k key ~for_site =
+  match find_fd k key with
+  | None -> Proto.R_err Proto.Einval
+  | Some fd ->
+    if Site.equal fd.f_holder for_site then
+      Proto.R_token { granted = true; state = string_of_int fd.f_offset }
+    else begin
+      let offset =
+        if Site.equal fd.f_holder k.site then begin
+          fd.f_valid <- false;
+          Some fd.f_offset
+        end
+        else begin
+          match
+            rpc k fd.f_holder
+              (Proto.Token_state_req { key = Proto.Tok_fd (fst key, snd key) })
+          with
+          | Proto.R_token { granted = true; state } -> int_of_string_opt state
+          | Proto.R_token _ | Proto.R_err _ -> None
+          | _ -> None
+          | exception Error (Proto.Enet, _) -> None
+        end
+      in
+      match offset with
+      | None -> Proto.R_err Proto.Edeadtoken
+      | Some off ->
+        fd.f_holder <- for_site;
+        fd.f_offset <- off;
+        Sim.Stats.incr (stats k) "token.flip";
+        record k ~tag:"token.grant"
+          (Format.asprintf "%a -> %a off=%d" Proto.pp_token (Proto.Tok_fd (fst key, snd key))
+             Site.pp for_site off);
+        Proto.R_token { granted = true; state = string_of_int off }
+    end
+
+(* Holder side: yield the token, returning the guarded state. *)
+let handle_token_state_req k key =
+  match find_fd k key with
+  | None -> Proto.R_err Proto.Einval
+  | Some fd ->
+    fd.f_valid <- false;
+    Proto.R_token { granted = true; state = string_of_int fd.f_offset }
+
+(* Using-site side: make sure this site's copy of the descriptor is the
+   valid one before using the file position. *)
+let acquire k fd =
+  if not fd.f_valid then begin
+    let manager = manager_of fd.f_key in
+    let resp =
+      if Site.equal manager k.site then
+        handle_token_req k fd.f_key ~for_site:k.site
+      else
+        rpc k manager (Proto.Token_req { key = Proto.Tok_fd (fst fd.f_key, snd fd.f_key); for_site = k.site })
+    in
+    match resp with
+    | Proto.R_token { granted = true; state } ->
+      fd.f_offset <- (match int_of_string_opt state with Some v -> v | None -> 0);
+      fd.f_valid <- true
+    | Proto.R_token { granted = false; _ } | Proto.R_err _ ->
+      err Proto.Edeadtoken "could not acquire descriptor token"
+    | _ -> err Proto.Eio "unexpected token response"
+  end
+
+(* Recovery hook: a site left the partition. Reclaim tokens it held (the
+   offset reverts to the manager's last known value) and drop its fd copies
+   from manager bookkeeping. *)
+let handle_site_failure k dead =
+  Hashtbl.iter
+    (fun _ fd ->
+      if Site.equal (manager_of fd.f_key) k.site && Site.equal fd.f_holder dead then begin
+        fd.f_holder <- k.site;
+        fd.f_valid <- true
+      end)
+    k.shared_fds

@@ -1,0 +1,276 @@
+(* Using Site file access (section 2.3.3, 2.3.5).
+
+   The US carries out the user-visible half of every file operation: it
+   contacts the CSS to open, exchanges pages with the selected SS, and runs
+   the close protocol. All page traffic goes through kernel buffers; remote
+   pages are cached at the US (keyed by file and version, so a new committed
+   version naturally misses) with one-page readahead on sequential reads. *)
+
+open Ktypes
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Page = Storage.Page
+module Cache = Storage.Cache
+
+let vv_key vv = Vvec.to_string vv
+
+let local_vv_of k gf =
+  match local_pack k gf.Gfile.fg with
+  | None -> None
+  | Some pack ->
+    Pack.find_inode pack gf.Gfile.ino
+    |> Option.map (fun (i : Inode.t) -> i.Inode.vv)
+
+(* Open <filegroup, inode>: interrogate the CSS, which selects the SS
+   (Figure 2). Returns the US incore inode. *)
+let open_gf ?(shared = false) k gf mode =
+  let fi = fg_info k gf.Gfile.fg in
+  let us_vv = local_vv_of k gf in
+  match rpc k fi.css_site (Proto.Open_req { gf; mode; us_vv; shared }) with
+  | Proto.R_open { ss; info; others; nocache; slot } ->
+    let info =
+      if Site.equal ss k.site then begin
+        (* We serve ourselves: the real disk inode is local. *)
+        match local_pack k gf.Gfile.fg with
+        | Some pack -> (
+          match Pack.find_inode pack gf.Gfile.ino with
+          | Some inode -> Proto.info_of_inode inode
+          | None -> info)
+        | None -> info
+      end
+      else info
+    in
+    (* When the CSS chose this site as SS without a storage poll (the US-is-
+       current optimization), make sure the serving-state exists locally. *)
+    if Site.equal ss k.site then begin
+      let s = Ss.get_open k gf in
+      Ss.add_us s k.site;
+      s.s_others <- others
+    end;
+    let o =
+      {
+        o_gf = gf;
+        o_serial = fresh_serial k;
+        o_mode = mode;
+        o_ss = ss;
+        o_info = info;
+        o_nocache = nocache;
+        o_dirty = false;
+        o_last_lpage = -2;
+        o_guess = slot;
+        o_closed = false;
+      }
+    in
+    Hashtbl.add k.open_files (gf, o.o_serial) o;
+    record k ~tag:"us.open"
+      (Format.asprintf "%a %a ss=%a" Gfile.pp gf Proto.pp_mode mode Site.pp ss);
+    o
+  | Proto.R_err e -> err e "open %a failed" Gfile.pp gf
+  | _ -> err Proto.Eio "unexpected open response"
+
+let cache_key o lpage = (o.o_gf, lpage, vv_key o.o_info.Proto.i_vv)
+
+let fetch_page k o lpage =
+  match rpc k o.o_ss (Proto.Read_page { gf = o.o_gf; lpage; guess = o.o_guess }) with
+  | Proto.R_page { data; eof } -> (data, eof)
+  | Proto.R_err e -> err e "read %a page %d failed" Gfile.pp o.o_gf lpage
+  | _ -> err Proto.Eio "unexpected read response"
+
+let cacheable k o = k.config.use_cache && not o.o_nocache
+
+(* Read one logical page through the kernel buffers, with sequential
+   readahead as in standard Unix (section 2.3.3). *)
+let read_page k o lpage =
+  if o.o_closed then err Proto.Einval "read on closed file";
+  charge_cpu_page k;
+  let sequential = lpage = o.o_last_lpage + 1 in
+  o.o_last_lpage <- lpage;
+  let deliver data eof =
+    if k.config.readahead && sequential && not eof then begin
+      (* Schedule the readahead asynchronously; it fills the cache. *)
+      let next = lpage + 1 in
+      if cacheable k o && Cache.find k.us_cache (cache_key o next) = None then
+        Engine.schedule k.engine ~delay:0.01 (fun () ->
+            if (not o.o_closed) && k.alive then begin
+              match fetch_page k o next with
+              | data, _ ->
+                Sim.Stats.incr (stats k) "us.readahead";
+                Cache.insert k.us_cache (cache_key o next) (Page.of_string data)
+              | exception Error _ -> ()
+            end)
+    end;
+    (data, eof)
+  in
+  if Site.equal o.o_ss k.site then begin
+    (* Local access: same path cost as conventional Unix. *)
+    charge k (latency k).Net.Latency.local_call;
+    match Ss.handle_read_page k o.o_gf lpage with
+    | Proto.R_page { data; eof } -> (data, eof)
+    | Proto.R_err e -> err e "local read failed"
+    | _ -> err Proto.Eio "unexpected local read response"
+  end
+  else if cacheable k o then begin
+    match Cache.find k.us_cache (cache_key o lpage) with
+    | Some page ->
+      let size = o.o_info.Proto.i_size in
+      let remaining = size - (lpage * Page.size) in
+      let len = max 0 (min Page.size remaining) in
+      (Page.sub page 0 len, (lpage + 1) * Page.size >= size)
+    | None ->
+      let data, eof = fetch_page k o lpage in
+      Cache.insert k.us_cache (cache_key o lpage) (Page.of_string data);
+      deliver data eof
+  end
+  else begin
+    let data, eof = fetch_page k o lpage in
+    deliver data eof
+  end
+
+(* Whole-body read, following the SS's eof indications. *)
+let read_all k o =
+  let buf = Buffer.create 1024 in
+  let rec loop lpage =
+    let data, eof = read_page k o lpage in
+    Buffer.add_string buf data;
+    if (not eof) && String.length data > 0 then loop (lpage + 1)
+  in
+  if o.o_info.Proto.i_size > 0 || Site.equal o.o_ss k.site then loop 0;
+  Buffer.contents buf
+
+(* Read up to [len] bytes starting at byte [off] (fd-style read). *)
+let read_bytes k o ~off ~len =
+  if len <= 0 then ""
+  else begin
+    let buf = Buffer.create len in
+    let rec loop abs remaining =
+      if remaining > 0 then begin
+        let lpage = abs / Page.size in
+        let poff = abs mod Page.size in
+        let data, eof = read_page k o lpage in
+        if poff < String.length data then begin
+          let n = min remaining (String.length data - poff) in
+          Buffer.add_string buf (String.sub data poff n);
+          if (not eof) && n = String.length data - poff then
+            loop (abs + n) (remaining - n)
+        end
+      end
+    in
+    loop off len;
+    Buffer.contents buf
+  end
+
+(* Write [data] at byte offset [off] through the write protocol: each
+   affected page travels US -> SS once; whole-page changes need no read. *)
+let write k o ~off data =
+  if o.o_closed then err Proto.Einval "write on closed file";
+  if o.o_mode <> Proto.Mode_modify then err Proto.Eaccess "file not open for modification";
+  let len = String.length data in
+  let send_chunk ~lpage ~poff chunk =
+    let whole = poff = 0 && String.length chunk = Page.size in
+    let req =
+      Proto.Write_page { gf = o.o_gf; lpage; whole; off = poff; data = chunk }
+    in
+    let resp =
+      if Site.equal o.o_ss k.site then begin
+        charge k (latency k).Net.Latency.local_call;
+        Ss.handle_write_page k ~src:k.site o.o_gf ~lpage ~whole ~off:poff ~data:chunk
+      end
+      else rpc k o.o_ss req
+    in
+    expect_ok resp
+  in
+  let rec loop pos =
+    if pos < len then begin
+      let abs = off + pos in
+      let lpage = abs / Page.size in
+      let poff = abs mod Page.size in
+      let n = min (Page.size - poff) (len - pos) in
+      send_chunk ~lpage ~poff (String.sub data pos n);
+      loop (pos + n)
+    end
+  in
+  loop 0;
+  o.o_dirty <- true;
+  if off + len > o.o_info.Proto.i_size then
+    o.o_info <- { o.o_info with Proto.i_size = off + len }
+
+let truncate k o size =
+  if o.o_mode <> Proto.Mode_modify then err Proto.Eaccess "file not open for modification";
+  let resp =
+    if Site.equal o.o_ss k.site then
+      Ss.handle_truncate k o.o_gf ~size
+    else rpc k o.o_ss (Proto.Truncate_req { gf = o.o_gf; size })
+  in
+  expect_ok resp;
+  o.o_dirty <- true;
+  if size < o.o_info.Proto.i_size then o.o_info <- { o.o_info with Proto.i_size = size }
+
+let set_contents k o body =
+  truncate k o 0;
+  if String.length body > 0 then write k o ~off:0 body;
+  o.o_dirty <- true
+
+(* Commit or abort the modifications of this open (section 2.3.6). *)
+let commit_gen k o ~abort ~delete =
+  let resp =
+    if Site.equal o.o_ss k.site then
+      Ss.handle_commit k o.o_gf ~abort ~delete
+    else
+      rpc k o.o_ss
+        (Proto.Commit_req { gf = o.o_gf; us = k.site; abort; delete; force_vv = None })
+  in
+  match resp with
+  | Proto.R_committed { vv } ->
+    o.o_dirty <- false;
+    if not (Vvec.equal vv Vvec.zero) then o.o_info <- { o.o_info with Proto.i_vv = vv };
+    vv
+  | Proto.R_err e -> err e "commit failed"
+  | _ -> err Proto.Eio "unexpected commit response"
+
+let commit k o = ignore (commit_gen k o ~abort:false ~delete:false)
+
+let abort k o = ignore (commit_gen k o ~abort:true ~delete:false)
+
+(* Close: flush (commit) any modification, then run the close protocol
+   US -> SS -> CSS (section 2.3.3). *)
+let close k o =
+  if not o.o_closed then begin
+    if o.o_dirty then commit k o;
+    o.o_closed <- true;
+    Hashtbl.remove k.open_files (o.o_gf, o.o_serial);
+    let resp =
+      if Site.equal o.o_ss k.site then
+        (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
+         with Error _ -> Proto.R_ok)
+      else
+        try rpc k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode })
+        with Error (Proto.Enet, _) -> Proto.R_ok
+      (* A close that cannot reach the SS is handled by cleanup. *)
+    in
+    (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ());
+    record k ~tag:"us.close" (Gfile.to_string o.o_gf)
+  end
+
+(* Delete the file body: mark the inode deleted and commit (section 2.3.7). *)
+let delete_file k o = ignore (commit_gen k o ~abort:false ~delete:true)
+
+let stat_gf k gf =
+  (* Prefer the local copy; otherwise ask the CSS's believed-latest site. *)
+  match local_pack k gf.Gfile.fg with
+  | Some pack when Pack.stores pack gf.Gfile.ino ->
+    Proto.info_of_inode (Pack.get_inode pack gf.Gfile.ino)
+  | Some _ | None -> (
+    let fi = fg_info k gf.Gfile.fg in
+    match rpc k fi.css_site (Proto.Where_stored { gf }) with
+    | Proto.R_where { sites; _ } -> (
+      let reachable = List.filter (fun s -> in_partition k s) sites in
+      match reachable with
+      | [] -> err Proto.Enet "no reachable copy of %a" Gfile.pp gf
+      | s :: _ -> (
+        match rpc k s (Proto.Stat_req { gf }) with
+        | Proto.R_stat { info = Some info; _ } -> info
+        | Proto.R_stat { info = None; _ } -> err Proto.Enoent "stat: no copy"
+        | Proto.R_err e -> err e "stat failed"
+        | _ -> err Proto.Eio "unexpected stat response"))
+    | Proto.R_err e -> err e "stat: CSS lookup failed"
+    | _ -> err Proto.Eio "unexpected where response")

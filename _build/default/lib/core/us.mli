@@ -1,0 +1,53 @@
+(** Using Site file access (§2.3.3, §2.3.5).
+
+    The US carries out the user-visible half of every file operation: it
+    contacts the CSS to open (Figure 2), exchanges pages with the selected
+    SS, and runs the close protocol. Remote pages are cached at the US,
+    keyed by file and version, with one-page readahead on sequential
+    reads. *)
+
+val open_gf :
+  ?shared:bool -> Ktypes.t -> Catalog.Gfile.t -> Proto.open_mode -> Ktypes.ofile
+(** Open <filegroup, inode> through the CSS, which selects the storage
+    site. [shared] joins an existing open through a forked descriptor
+    (exempt from the single-writer policy; the offset token serializes
+    access). Raises {!Ktypes.Error}. *)
+
+val read_page : Ktypes.t -> Ktypes.ofile -> int -> string * bool
+(** [read_page k o lpage] returns the page data (possibly short at end of
+    file) and an eof flag. Sequential reads schedule a one-page
+    readahead. *)
+
+val read_all : Ktypes.t -> Ktypes.ofile -> string
+(** Whole-body read following the SS's eof indications. *)
+
+val read_bytes : Ktypes.t -> Ktypes.ofile -> off:int -> len:int -> string
+(** Byte-ranged read (fd-style). *)
+
+val write : Ktypes.t -> Ktypes.ofile -> off:int -> string -> unit
+(** Send the affected pages to the SS via the write protocol: whole-page
+    changes travel without a read; partial pages as patches. *)
+
+val truncate : Ktypes.t -> Ktypes.ofile -> int -> unit
+
+val set_contents : Ktypes.t -> Ktypes.ofile -> string -> unit
+(** Whole-file overwrite (truncate + page writes). *)
+
+val commit : Ktypes.t -> Ktypes.ofile -> unit
+(** Atomically commit this open's modifications at the SS (§2.3.6). *)
+
+val abort : Ktypes.t -> Ktypes.ofile -> unit
+(** Undo any changes back to the previous commit point. *)
+
+val close : Ktypes.t -> Ktypes.ofile -> unit
+(** Flush (commit) if dirty, then run the US→SS→CSS close protocol. *)
+
+val delete_file : Ktypes.t -> Ktypes.ofile -> unit
+(** Mark the inode deleted and commit (§2.3.7). *)
+
+val stat_gf : Ktypes.t -> Catalog.Gfile.t -> Proto.inode_info
+(** Descriptor information, from the local pack when possible, else from a
+    reachable site holding the latest version. *)
+
+val local_vv_of : Ktypes.t -> Catalog.Gfile.t -> Vv.Version_vector.t option
+(** The version of this site's own copy, if it stores one. *)

@@ -1,0 +1,1 @@
+lib/locus/workload.ml: Format List Locus_core Printf Proto Sim Storage String World

@@ -1,0 +1,1 @@
+lib/locus/workload.mli: Format World

@@ -1,0 +1,1 @@
+lib/locus/world.ml: Catalog Fun Hashtbl List Locus_core Net Printf Proto Recovery Sim Storage String Vv

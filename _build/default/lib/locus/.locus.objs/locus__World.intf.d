@@ -1,0 +1,1 @@
+lib/locus/world.mli: Locus_core Net Proto Recovery Sim

@@ -1,0 +1,47 @@
+(** Synthetic workload generator.
+
+    Models the production setting of the paper's §6 — a software-
+    development community doing edits, builds (remote execution), reads
+    and mail — as a seeded, deterministic stream of operations issued from
+    random sites. Used by the benchmark harness (experiment E15) and
+    available for soak tests. *)
+
+type mix = {
+  read : int;      (** weight of whole-file reads *)
+  edit : int;      (** weight of whole-file overwrites (commit + propagate) *)
+  exec : int;      (** weight of remote [run] of a build tool *)
+  mail : int;      (** weight of mailbox deliveries *)
+  namespace : int; (** weight of create/unlink churn *)
+}
+
+val default_mix : mix
+(** Read-mostly, like the paper's environment: 60/20/10/5/5. *)
+
+type spec = {
+  mix : mix;
+  n_files : int;        (** working-set size under /work *)
+  ncopies : int;        (** replication factor for created files *)
+  seed : int64;
+}
+
+val default_spec : spec
+
+type report = {
+  ops : int;
+  reads : int;
+  edits : int;
+  execs : int;
+  mails : int;
+  creates : int;
+  unlinks : int;
+  errors : int; (** operations refused (partition, conflict, busy) *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val setup : World.t -> spec -> unit
+(** Create the working set: /work files, /bin/cc, /mail/root. *)
+
+val run : World.t -> spec -> ops:int -> report
+(** Issue [ops] operations from random sites (skipping crashed ones);
+    errors are counted, not raised. Deterministic under [spec.seed]. *)

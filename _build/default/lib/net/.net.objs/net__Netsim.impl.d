@@ -1,0 +1,1 @@
+lib/net/netsim.ml: Hashtbl Latency List Printf Sim Site Topology

@@ -1,0 +1,24 @@
+type t = {
+  msg_base : float;
+  per_byte : float;
+  local_call : float;
+  disk_read : float;
+  disk_write : float;
+  cpu_page : float;
+}
+
+(* With a 1024-byte page: local page = disk_read + cpu_page = 0.50 ms of
+   charged cost; remote page adds one request (~0.21 ms) and one page-sized
+   response (~0.31 ms), so remote/local is approximately 2, matching the
+   paper's footnote in section 2.2.1. *)
+let default =
+  {
+    msg_base = 0.20;
+    per_byte = 0.0001;
+    local_call = 0.02;
+    disk_read = 0.30;
+    disk_write = 0.35;
+    cpu_page = 0.20;
+  }
+
+let msg_cost t ~bytes = t.msg_base +. (t.per_byte *. float_of_int bytes)

@@ -1,0 +1,19 @@
+(** Simulated cost model, in milliseconds.
+
+    Calibrated so that the paper's measured shape holds: a remote page access
+    costs about twice the CPU of a local one, and a fully remote open costs
+    several times a local open (§2.2.1 footnote, [GOLD 83]). *)
+
+type t = {
+  msg_base : float;      (** fixed per-message cost: protocol processing *)
+  per_byte : float;      (** wire + copy cost per payload byte *)
+  local_call : float;    (** kernel procedure-call cost when roles are collocated *)
+  disk_read : float;     (** read one page from the simulated disk *)
+  disk_write : float;    (** write one page to the simulated disk *)
+  cpu_page : float;      (** CPU cost of delivering one page to a process *)
+}
+
+val default : t
+(** 10 Mb/s-Ethernet-like parameters. *)
+
+val msg_cost : t -> bytes:int -> float

@@ -1,0 +1,135 @@
+module Engine = Sim.Engine
+module Stats = Sim.Stats
+
+exception Unreachable of Site.t * Site.t
+
+type ('req, 'resp) t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  latency : Latency.t;
+  mutable handlers : (src:Site.t -> 'req -> 'resp) Site.Map.t;
+  circuits : (Site.t * Site.t, unit) Hashtbl.t; (* key is ordered pair (min,max) *)
+  mutable drop_prob : float;
+  mutable forced_failures : (Site.t * Site.t) list;
+  mutable failure_observers : (Site.t -> Site.t -> unit) list;
+}
+
+let create engine topo latency =
+  {
+    engine;
+    topo;
+    latency;
+    handlers = Site.Map.empty;
+    circuits = Hashtbl.create 64;
+    drop_prob = 0.0;
+    forced_failures = [];
+    failure_observers = [];
+  }
+
+let engine t = t.engine
+
+let topology t = t.topo
+
+let latency t = t.latency
+
+let set_handler t site f = t.handlers <- Site.Map.add site f t.handlers
+
+let set_drop_probability t p = t.drop_prob <- p
+
+let fail_next_message t ~src ~dst = t.forced_failures <- (src, dst) :: t.forced_failures
+
+let on_circuit_failure t f = t.failure_observers <- f :: t.failure_observers
+
+let circuit_key a b = if a < b then (a, b) else (b, a)
+
+let circuits_open t = Hashtbl.length t.circuits
+
+let open_circuit t a b =
+  let key = circuit_key a b in
+  if not (Hashtbl.mem t.circuits key) then begin
+    Hashtbl.add t.circuits key ();
+    Stats.incr (Engine.stats t.engine) "net.circuit.open"
+  end
+
+let close_circuit t ~observer ~peer =
+  let key = circuit_key observer peer in
+  if Hashtbl.mem t.circuits key then begin
+    Hashtbl.remove t.circuits key;
+    Stats.incr (Engine.stats t.engine) "net.circuit.close"
+  end;
+  List.iter (fun f -> f observer peer) t.failure_observers
+
+let handler_of t site =
+  match Site.Map.find_opt site t.handlers with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Netsim: no handler registered for site %d" site)
+
+(* Decide whether a single message from [src] to [dst] gets through, consuming
+   any forced-failure directive. *)
+let message_delivered t ~src ~dst =
+  let forced =
+    match t.forced_failures with
+    | [] -> false
+    | l ->
+      let hit, rest = List.partition (fun (a, b) -> a = src && b = dst) l in
+      (match hit with
+      | [] -> false
+      | _ :: dropped_rest ->
+        t.forced_failures <- dropped_rest @ rest;
+        true)
+  in
+  if forced then false
+  else if not (Topology.reachable t.topo src dst) then false
+  else if t.drop_prob > 0.0 && Sim.Rng.float (Engine.rng t.engine) 1.0 < t.drop_prob then false
+  else true
+
+let account t ?tag ~bytes () =
+  let stats = Engine.stats t.engine in
+  Stats.incr stats "net.msg";
+  Stats.add stats "net.bytes" bytes;
+  match tag with
+  | Some tag -> Stats.incr stats ("net.msg." ^ tag)
+  | None -> ()
+
+let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
+  if Site.equal src dst then begin
+    Engine.charge t.engine t.latency.Latency.local_call;
+    (handler_of t dst) ~src req
+  end
+  else begin
+    open_circuit t src dst;
+    if not (message_delivered t ~src ~dst) then begin
+      close_circuit t ~observer:src ~peer:dst;
+      raise (Unreachable (src, dst))
+    end;
+    account t ?tag ~bytes:req_bytes ();
+    Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:req_bytes);
+    let resp = (handler_of t dst) ~src req in
+    if not (message_delivered t ~src:dst ~dst:src) then begin
+      close_circuit t ~observer:src ~peer:dst;
+      raise (Unreachable (src, dst))
+    end;
+    let rbytes = resp_bytes resp in
+    account t ?tag ~bytes:rbytes ();
+    Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:rbytes);
+    resp
+  end
+
+let send t ?tag ~src ~dst ~bytes req =
+  if Site.equal src dst then begin
+    let f = handler_of t dst in
+    Engine.schedule t.engine ~delay:t.latency.Latency.local_call (fun () ->
+        ignore (f ~src req))
+  end
+  else begin
+    open_circuit t src dst;
+    account t ?tag ~bytes ();
+    let delay = Latency.msg_cost t.latency ~bytes in
+    Engine.schedule t.engine ~delay (fun () ->
+        if message_delivered t ~src ~dst then ignore ((handler_of t dst) ~src req)
+        else close_circuit t ~observer:src ~peer:dst)
+  end
+
+let messages_sent t = Stats.get (Engine.stats t.engine) "net.msg"
+
+let bytes_sent t = Stats.get (Engine.stats t.engine) "net.bytes"

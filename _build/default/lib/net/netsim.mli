@@ -1,0 +1,72 @@
+(** Kernel-to-kernel message layer.
+
+    LOCUS uses specialized, minimal protocols: a remote service request is a
+    single message and a single response, with no acknowledgements or flow
+    control underneath (§2.3.3). We model that directly: {!call} is a
+    synchronous request/response exchange that charges simulated time for
+    both messages and runs the destination site's handler in between;
+    {!send} is a one-way datagram (used for commit notifications and the
+    reconfiguration polls).
+
+    Virtual circuits (§5.1) connect pairs of sites, deliver in order, and
+    are closed by any delivery failure; closure is reported to registered
+    observers, which is how kernels detect that reconfiguration is needed. *)
+
+type ('req, 'resp) t
+
+exception Unreachable of Site.t * Site.t
+(** Raised by {!call} when the destination cannot be reached (site down,
+    link down, or injected message loss). The circuit is closed first. *)
+
+val create : Sim.Engine.t -> Topology.t -> Latency.t -> ('req, 'resp) t
+
+val engine : ('req, 'resp) t -> Sim.Engine.t
+
+val topology : ('req, 'resp) t -> Topology.t
+
+val latency : ('req, 'resp) t -> Latency.t
+
+val set_handler : ('req, 'resp) t -> Site.t -> (src:Site.t -> 'req -> 'resp) -> unit
+(** Install the kernel dispatch function for a site. *)
+
+val call :
+  ('req, 'resp) t ->
+  ?tag:string ->
+  src:Site.t ->
+  dst:Site.t ->
+  req_bytes:int ->
+  resp_bytes:('resp -> int) ->
+  'req ->
+  'resp
+(** Synchronous exchange. When [src = dst] this is a local procedure call:
+    it charges only {!Latency.local_call} and counts no messages. Otherwise
+    it counts two messages (request and response) and charges their wire
+    cost. Raises {!Unreachable} on failure. *)
+
+val send :
+  ('req, 'resp) t ->
+  ?tag:string ->
+  src:Site.t ->
+  dst:Site.t ->
+  bytes:int ->
+  'req ->
+  unit
+(** One-way datagram, delivered asynchronously via the engine queue (the
+    handler's response is discarded). Delivery is checked at delivery time;
+    a failed delivery closes the circuit silently. *)
+
+val set_drop_probability : ('req, 'resp) t -> float -> unit
+(** Inject random message loss (checked per message). *)
+
+val fail_next_message : ('req, 'resp) t -> src:Site.t -> dst:Site.t -> unit
+(** Force exactly the next message from [src] to [dst] to be lost. *)
+
+val on_circuit_failure : ('req, 'resp) t -> (Site.t -> Site.t -> unit) -> unit
+(** [f observer peer] is called when a circuit fails; [observer] is the site
+    that noticed. *)
+
+val circuits_open : ('req, 'resp) t -> int
+
+val messages_sent : ('req, 'resp) t -> int
+
+val bytes_sent : ('req, 'resp) t -> int

@@ -1,0 +1,252 @@
+(** Kernel-to-kernel protocol vocabulary.
+
+    These are the lowest-level protocols in the system: single
+    request/response exchanges with no layered acknowledgements, flow
+    control, or retransmission stack underneath — "this specialized
+    protocol is an important contributor to LOCUS performance" (§2.3.3).
+    Each constructor corresponds to one message of the paper's
+    open / read / write / commit / close / create protocols, the
+    remote-process machinery (§3), or the reconfiguration protocols (§5).
+
+    {!req_bytes} and {!resp_bytes} define the wire-size model used for
+    latency charging and byte accounting; {!req_tag} labels messages in
+    the per-category statistics. *)
+
+(** {1 Open modes} *)
+
+type open_mode =
+  | Mode_read      (** normal synchronized read *)
+  | Mode_modify    (** open for update; one per file per partition *)
+  | Mode_internal  (** unsynchronized internal read (pathname searching) *)
+
+val pp_mode : Format.formatter -> open_mode -> unit
+
+(** {1 Errors reflected across machine boundaries} *)
+
+type errno =
+  | Enoent
+  | Enotdir
+  | Eisdir
+  | Eexist
+  | Eaccess
+  | Ebusy       (** the synchronization policy refused the open *)
+  | Estale      (** stale CSS knowledge / file replaced *)
+  | Econflict   (** copies in version-vector conflict; access blocked (§4.6) *)
+  | Enospc
+  | Eio
+  | Enet        (** partition or site failure mid-operation *)
+  | Esrch       (** no such process *)
+  | Edeadtoken  (** token holder unreachable *)
+  | Einval
+
+val errno_to_string : errno -> string
+
+val pp_errno : Format.formatter -> errno -> unit
+
+(** {1 Shipped descriptor information} *)
+
+(** Disk-inode information carried in open/stat responses: "all the disk
+    inode information (eg. file size, ownership, permissions) is obtained
+    from the CSS response" (§2.3.3). *)
+type inode_info = {
+  i_ftype : Storage.Inode.ftype;
+  i_size : int;
+  i_nlink : int;
+  i_owner : string;
+  i_perms : int;
+  i_mtime : float;
+  i_vv : Vv.Version_vector.t;
+  i_deleted : bool;
+}
+
+val info_of_inode : Storage.Inode.t -> inode_info
+
+(** {1 Tokens (§3.2)} *)
+
+type token_key =
+  | Tok_fd of int * int
+      (** shared file-descriptor offset token: origin site, serial *)
+
+val pp_token : Format.formatter -> token_key -> unit
+
+(** {1 Process environment (§3.1)} *)
+
+(** One shared open descriptor carried to a forked child: parent and
+    child share it, with the token deciding whose file position is
+    valid. *)
+type fd_desc = {
+  d_num : int;
+  d_key : int * int;
+  d_gf : Catalog.Gfile.t;
+  d_mode : open_mode;
+}
+
+type process_env = {
+  e_uid : string;
+  e_cwd : Catalog.Gfile.t;
+  e_context : string list; (** hidden-directory context (§2.4.1) *)
+  e_ncopies : int;         (** inherited replication factor (§2.3.7) *)
+  e_fds : fd_desc list;
+}
+
+(** {1 Requests} *)
+
+type req =
+  | Open_req of {
+      gf : Catalog.Gfile.t;
+      mode : open_mode;
+      us_vv : Vv.Version_vector.t option;
+      shared : bool;
+    }  (** US → CSS: the open request of Figure 2; carries the US's copy
+           version for the US-is-current optimization. [shared] joins an
+           existing open through a forked descriptor. *)
+  | Storage_req of {
+      gf : Catalog.Gfile.t;
+      vv : Vv.Version_vector.t;
+      us : Net.Site.t;
+      mode : open_mode;
+      others : Net.Site.t list;
+    }  (** CSS → candidate SS: will you serve this open at this version?
+           [others] lets the SS send its commit notifications directly. *)
+  | Read_page of { gf : Catalog.Gfile.t; lpage : int; guess : int }
+      (** US → SS: one page; [guess] locates the incore inode (§2.3.3). *)
+  | Write_page of {
+      gf : Catalog.Gfile.t;
+      lpage : int;
+      whole : bool;
+      off : int;
+      data : string;
+    }  (** US → SS: one logical page of modification (whole or patch). *)
+  | Truncate_req of { gf : Catalog.Gfile.t; size : int }
+  | Commit_req of {
+      gf : Catalog.Gfile.t;
+      us : Net.Site.t;
+      abort : bool;
+      delete : bool;
+      force_vv : Vv.Version_vector.t option;
+    }  (** US → SS: commit/abort the open modification; [delete] marks
+           the inode deleted (§2.3.7); [force_vv] installs recovery's
+           merged vector. *)
+  | Us_close of { gf : Catalog.Gfile.t; mode : open_mode }
+  | Ss_close of {
+      gf : Catalog.Gfile.t;
+      ss : Net.Site.t;
+      us : Net.Site.t;
+      mode : open_mode;
+    }  (** the race-free three-message close (§2.3.3 footnote) *)
+  | Commit_notify of {
+      gf : Catalog.Gfile.t;
+      vv : Vv.Version_vector.t;
+      meta_only : bool;
+      modified : int list;
+      origin : Net.Site.t;
+      fresh : bool;
+      deleted : bool;
+      designate : bool;
+      replicas : Net.Site.t list;
+    }  (** SS → CSS and other storage sites after a commit (§2.3.6).
+           [modified] lets receivers pull just the changes; [designate]
+           makes a site pull its first copy; [replicas] registers
+           create-time designations at the CSS. *)
+  | Reclaim_req of { gf : Catalog.Gfile.t }
+      (** CSS → SS: all storage sites saw the delete; release the inode
+          number (§2.3.7). *)
+  | Page_invalidate of { gf : Catalog.Gfile.t; lpage : int }
+      (** SS → other USs: buffered copy no longer valid (§3.2). *)
+  | Create_req of {
+      fg : int;
+      ftype : Storage.Inode.ftype;
+      owner : string;
+      perms : int;
+      replicate_at : Net.Site.t list;
+    }  (** US → chosen SS: a placeholder travels instead of an inode
+           number; the SS allocates from its partition of the inode
+           space (§2.3.7). *)
+  | Link_count of { gf : Catalog.Gfile.t; delta : int }
+  | Set_attr of { gf : Catalog.Gfile.t; perms : int option; owner : string option }
+      (** metadata-only commits (§2.3.6's "just inode information") *)
+  | Stat_req of { gf : Catalog.Gfile.t }
+  | Where_stored of { gf : Catalog.Gfile.t }
+  | Token_req of { key : token_key; for_site : Net.Site.t }
+  | Token_state_req of { key : token_key }
+  | Fork_req of {
+      child_pid : int;
+      env : process_env;
+      image_pages : int;
+      parent : int * Net.Site.t;
+    }  (** remote fork ships the process image (§3.1) *)
+  | Exec_req of {
+      pid : int;
+      path : string;
+      env : process_env;
+      image_pages : int;
+      parent : int * Net.Site.t;
+    }
+  | Run_req of {
+      child_pid : int;
+      path : string;
+      env : process_env;
+      parent : int * Net.Site.t;
+      context_override : string list option;
+    }  (** the optimized fork+exec: no image copy; the override is the
+           caller's environment parameterization *)
+  | Signal_req of { pid : int; signo : int }
+  | Exit_notify of { pid : int; status : int; child_site : Net.Site.t }
+  | Part_poll of { initiator : Net.Site.t; pset : Net.Site.t list }
+      (** partition protocol poll (§5.4) *)
+  | Part_announce of { active : Net.Site.t; members : Net.Site.t list }
+  | Merge_poll of { initiator : Net.Site.t }
+  | Merge_announce of {
+      members : Net.Site.t list;
+      css_map : (int * Net.Site.t) list;
+    }
+  | Status_check of { asker : Net.Site.t }
+      (** the §5.7 synchronization probe *)
+  | Open_files_query of { fg : int }
+      (** lock-table rebuild input (§5.6) *)
+  | Pack_inventory of { fg : int }
+  | Pipe_write of { gf : Catalog.Gfile.t; data : string }
+  | Pipe_read of { gf : Catalog.Gfile.t; max : int }
+
+(** {1 Responses} *)
+
+type resp =
+  | R_ok
+  | R_err of errno
+  | R_open of {
+      ss : Net.Site.t;
+      info : inode_info;
+      others : Net.Site.t list;
+      nocache : bool;
+      slot : int;
+    }
+  | R_storage of { accept : bool; info : inode_info option; slot : int }
+  | R_page of { data : string; eof : bool }
+  | R_committed of { vv : Vv.Version_vector.t }
+  | R_created of { ino : int }
+  | R_stat of { info : inode_info option; stored_here : bool }
+  | R_where of {
+      sites : Net.Site.t list;
+      all_sites : Net.Site.t list;
+      vv : Vv.Version_vector.t;
+    }
+  | R_token of { granted : bool; state : string }
+  | R_pid of { pid : int }
+  | R_pset of { pset : Net.Site.t list }
+  | R_merge_info of { believed_up : Net.Site.t list; fgs : int list }
+  | R_busy of { active : Net.Site.t }
+  | R_status of { stage : int; site : Net.Site.t }
+  | R_open_files of { files : (int * open_mode * Net.Site.t) list }
+  | R_inventory of { files : (int * Vv.Version_vector.t * bool) list }
+  | R_data of { data : string }
+
+(** {1 Wire-size model} *)
+
+val req_bytes : req -> int
+(** Modelled wire size of a request, bytes (header + scaled payload; a
+    remote fork includes the shipped image). *)
+
+val resp_bytes : resp -> int
+
+val req_tag : req -> string
+(** Short label for per-category message statistics. *)

@@ -1,0 +1,1 @@
+lib/recovery/merge.ml: Engine Gfile Hashtbl Int List Locus_core Net Option Printf Proto String

@@ -1,0 +1,1 @@
+lib/recovery/merge.mli: Hashtbl Locus_core Net Proto

@@ -1,0 +1,1 @@
+lib/recovery/partition.ml: List Locus_core Merge Net Printf Proto String Txn

@@ -1,0 +1,1 @@
+lib/recovery/partition.mli: Locus_core Net Proto

@@ -1,0 +1,1 @@
+lib/recovery/reconcile.ml: Buffer Catalog Format Gfile Hashtbl Int List Locus_core Net Option Printf Proto Storage String Vvec

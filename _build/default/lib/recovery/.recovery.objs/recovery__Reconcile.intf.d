@@ -1,0 +1,1 @@
+lib/recovery/reconcile.mli: Catalog Format Locus_core Net Storage

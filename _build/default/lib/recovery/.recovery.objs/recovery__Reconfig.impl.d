@@ -1,0 +1,1 @@
+lib/recovery/reconfig.ml: Hashtbl List Locus_core Merge Net Partition Proto Reconcile Sim

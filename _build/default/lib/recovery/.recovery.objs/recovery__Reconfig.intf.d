@@ -1,0 +1,1 @@
+lib/recovery/reconfig.mli: Locus_core Merge Net Partition Reconcile

@@ -1,0 +1,1 @@
+lib/recovery/sync.ml: Locus_core Net Proto

@@ -1,0 +1,1 @@
+lib/recovery/sync.mli: Locus_core Net

@@ -1,0 +1,41 @@
+(** The partition protocol (§5.4).
+
+    When communication breaks, the site tables of a partition become
+    unsynchronized. The protocol re-establishes logical partitioning by
+    *iterative intersection*: the active site polls the sites in its
+    partition set; each successful poll returns the polled site's own
+    partition set (verified against its virtual-circuit state), which is
+    intersected in; polling continues until the joined set equals the
+    partition set. The result is a maximal fully-connected sub-network —
+    a single communication failure never splits the net into three parts.
+
+    After agreement, each member installs the membership, re-elects the
+    CSS for every filegroup it supports, and runs the cleanup procedure
+    (§5.6) for departed sites. *)
+
+type report = {
+  members : Net.Site.t list;
+  polls : int;    (** poll exchanges performed *)
+  rounds : int;   (** intersection iterations *)
+  failures : int; (** polls that found a site unreachable *)
+}
+
+val run_active : Locus_core.Ktypes.t -> report
+(** Run the protocol as the active site and announce the consensus. *)
+
+val handle_poll : Locus_core.Ktypes.t -> src:Net.Site.t -> Proto.resp
+
+val handle_announce : Locus_core.Ktypes.t -> members:Net.Site.t list -> Proto.resp
+
+val apply_membership : Locus_core.Ktypes.t -> Net.Site.t list -> Net.Site.t list
+(** Install an agreed membership: re-elect CSSs, then run cleanup for each
+    departed site. Returns the departed sites. *)
+
+val reelect_css : Locus_core.Ktypes.t -> Net.Site.t list -> unit
+(** Select a new synchronization site per filegroup: the lowest member
+    holding a physical container; the new CSS rebuilds its tables. *)
+
+val check_active_and_takeover :
+  Locus_core.Ktypes.t -> active:Net.Site.t -> report option
+(** §5.7: a passive site checks the active site; if it has failed, this
+    site restarts the protocol itself (returns its report). *)

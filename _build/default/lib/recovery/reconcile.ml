@@ -1,0 +1,492 @@
+(* Reconciliation after merge (section 4).
+
+   The version-vector comparison of [PARK 83] classifies each file's copies
+   within the new partition: equal (nothing to do), dominated (schedule
+   update propagation), or concurrent (conflicting updates during
+   partition). For conflicts the system applies the type-specific merge —
+   directories by the rules of section 4.4, mailboxes by section 4.5 —
+   and reports untyped conflicts to the owner by electronic mail, leaving
+   the file marked so that normal access fails until resolved (4.6). *)
+
+open Locus_core.Ktypes
+module Kernel = Locus_core.Kernel
+module Css = Locus_core.Css
+module Inode = Storage.Inode
+module Page = Storage.Page
+module Dir = Catalog.Dir
+module Mbox = Catalog.Mailbox
+module Site = Net.Site
+
+type report = {
+  mutable files_checked : int;
+  mutable propagations : int;   (* stale copies scheduled for update propagation *)
+  mutable dir_merges : int;
+  mutable mail_merges : int;
+  mutable manager_merges : int; (* resolved by a registered type manager (4.3) *)
+  mutable conflicts_marked : int;
+  mutable name_conflicts : int;
+  mutable deletes_undone : int;
+  mutable saved_from_delete : int;
+  mutable mails_sent : int;
+}
+
+let empty_report () =
+  {
+    files_checked = 0;
+    propagations = 0;
+    dir_merges = 0;
+    mail_merges = 0;
+    manager_merges = 0;
+    conflicts_marked = 0;
+    name_conflicts = 0;
+    deletes_undone = 0;
+    saved_from_delete = 0;
+    mails_sent = 0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "checked=%d propagated=%d dir-merges=%d mail-merges=%d manager-merges=%d \
+     conflicts=%d name-conflicts=%d deletes-undone=%d saved=%d mails=%d"
+    r.files_checked r.propagations r.dir_merges r.mail_merges r.manager_merges
+    r.conflicts_marked r.name_conflicts r.deletes_undone r.saved_from_delete
+    r.mails_sent
+
+(* ---- pluggable type-specific reconciliation (section 4.3) ----
+
+   "If the system is not responsible for a given file type, it reflects
+   the problem up to a higher level; to a recovery/merge manager if one
+   exists for the given file type." Managers take the divergent contents
+   (one per distinct version) and return the merged contents. *)
+
+let merge_managers : (Storage.Inode.ftype, string list -> string) Hashtbl.t =
+  Hashtbl.create 4
+
+let register_merge_manager ftype f = Hashtbl.replace merge_managers ftype f
+
+let unregister_merge_manager ftype = Hashtbl.remove merge_managers ftype
+
+let merge_manager_for ftype = Hashtbl.find_opt merge_managers ftype
+
+(* ---- copy access ---- *)
+
+let fetch_info k site gf =
+  match rpc k site (Proto.Stat_req { gf }) with
+  | Proto.R_stat { info = Some info; _ } -> Some info
+  | Proto.R_stat { info = None; _ } | Proto.R_err _ -> None
+  | _ -> None
+  | exception Error (Proto.Enet, _) -> None
+
+let fetch_content k site gf (info : Proto.inode_info) =
+  let buf = Buffer.create info.Proto.i_size in
+  let npages = (info.Proto.i_size + Page.size - 1) / Page.size in
+  let ok = ref true in
+  (try
+     for lpage = 0 to npages - 1 do
+       match rpc k site (Proto.Read_page { gf; lpage; guess = 0 }) with
+       | Proto.R_page { data; _ } -> Buffer.add_string buf data
+       | Proto.R_err _ | _ -> ok := false
+     done
+   with Error (Proto.Enet, _) -> ok := false);
+  if !ok then Some (Buffer.contents buf) else None
+
+(* Push merged contents to [target] and commit with the exact merged
+   version vector; then tell the other storing sites to pull. *)
+let write_version k ~target gf ~content ~vv ~others =
+  let push () =
+    expect_ok (rpc k target (Proto.Truncate_req { gf; size = 0 }));
+    let len = String.length content in
+    let rec loop off lpage =
+      if off < len then begin
+        let n = min Page.size (len - off) in
+        expect_ok
+          (rpc k target
+             (Proto.Write_page
+                {
+                  gf;
+                  lpage;
+                  whole = n = Page.size;
+                  off = 0;
+                  data = String.sub content off n;
+                }));
+        loop (off + n) (lpage + 1)
+      end
+    in
+    loop 0 0;
+    match
+      rpc k target
+        (Proto.Commit_req
+           { gf; us = k.site; abort = false; delete = false; force_vv = Some vv })
+    with
+    | Proto.R_committed _ ->
+      List.iter
+        (fun s ->
+          if not (Site.equal s target) then
+            notify k s
+              (Proto.Commit_notify
+                 {
+                   gf;
+                   vv;
+                   meta_only = false;
+                   modified = [];
+                   origin = target;
+                   fresh = true;
+                   deleted = false;
+                   designate = true;
+                   replicas = [];
+                 }))
+        others;
+      true
+    | Proto.R_err _ | _ -> false
+  in
+  try push () with Error (Proto.Enet, _) -> false
+
+(* ---- version classification ---- *)
+
+(* Copies within the current partition, one representative site per
+   distinct version. *)
+let partition_copies k f =
+  Site.Map.fold
+    (fun site vv acc ->
+      if in_partition k site then
+        if List.exists (fun (_, v) -> Vvec.equal v vv) acc then acc
+        else (site, vv) :: acc
+      else acc)
+    f.site_vv []
+
+let maximal_versions copies =
+  List.filter
+    (fun (_, vv) ->
+      not
+        (List.exists
+           (fun (_, other) ->
+             (not (Vvec.equal vv other)) && Vvec.dominates_or_equal other vv)
+           copies))
+    copies
+
+(* Schedule update propagation at every in-partition site whose copy is
+   dominated by [vv]. *)
+let schedule_propagation k gf ~vv ~origin f report =
+  Site.Map.iter
+    (fun site copy_vv ->
+      if
+        in_partition k site
+        && (not (Vvec.equal copy_vv vv))
+        && not (Site.equal site origin)
+      then begin
+        report.propagations <- report.propagations + 1;
+        notify k site
+          (Proto.Commit_notify
+             {
+               gf;
+               vv;
+               meta_only = false;
+               modified = [];
+               origin;
+               fresh = true;
+               deleted = false;
+               designate = true;
+               replicas = [];
+             })
+      end)
+    f.site_vv
+
+(* ---- notification by electronic mail (section 4.6) ---- *)
+
+let notify_owner k ~owner ~subject report =
+  let path = "/mail/" ^ owner in
+  match Kernel.mailbox_deliver k ~path ~from:"recovery" ~body:subject with
+  | () -> report.mails_sent <- report.mails_sent + 1
+  | exception Error _ -> ()
+
+(* ---- directory merge (section 4.4) ---- *)
+
+(* Has the file been modified since [since]? Interrogates the inode at any
+   in-partition site storing it (rules 2b/2d). *)
+let modified_since k fg ino ~since =
+  match Css.find_file k fg ino with
+  | None -> false
+  | Some f ->
+    Site.Map.exists
+      (fun site _ ->
+        in_partition k site
+        &&
+        match fetch_info k site (Gfile.make ~fg ~ino) with
+        | Some info -> (not info.Proto.i_deleted) && info.Proto.i_mtime > since
+        | None -> false)
+      f.site_vv
+
+let fetch_owner k fg ino =
+  match Css.find_file k fg ino with
+  | None -> None
+  | Some f ->
+    Site.Map.fold
+      (fun site _ acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if in_partition k site then
+            fetch_info k site (Gfile.make ~fg ~ino)
+            |> Option.map (fun i -> i.Proto.i_owner)
+          else None)
+      f.site_vv None
+
+let merge_two_dirs k fg a b report =
+  let out = Dir.empty () in
+  let names =
+    List.map (fun (e : Dir.entry) -> e.Dir.name) (Dir.all_entries a)
+    @ List.map (fun (e : Dir.entry) -> e.Dir.name) (Dir.all_entries b)
+    |> List.sort_uniq String.compare
+  in
+  let put (e : Dir.entry) =
+    match e.Dir.status with
+    | Dir.Live -> Dir.insert out ~name:e.Dir.name ~ino:e.Dir.ino ~stamp:e.Dir.stamp ~origin:e.Dir.origin
+    | Dir.Tombstone ->
+      Dir.insert out ~name:e.Dir.name ~ino:e.Dir.ino ~stamp:e.Dir.stamp ~origin:e.Dir.origin;
+      ignore (Dir.remove out ~name:e.Dir.name ~stamp:e.Dir.stamp ~origin:e.Dir.origin)
+  in
+  List.iter
+    (fun name ->
+      match (Dir.find_entry a name, Dir.find_entry b name) with
+      | None, None -> ()
+      | Some e, None | None, Some e ->
+        (* Rule 2a/2b: present in one only — propagate the entry or the
+           delete, unless the data changed after the delete. *)
+        (match e.Dir.status with
+        | Dir.Tombstone when modified_since k fg e.Dir.ino ~since:e.Dir.stamp ->
+          report.deletes_undone <- report.deletes_undone + 1;
+          Dir.insert out ~name ~ino:e.Dir.ino ~stamp:e.Dir.stamp ~origin:e.Dir.origin
+        | Dir.Tombstone | Dir.Live -> put e)
+      | Some ea, Some eb -> (
+        match (ea.Dir.status, eb.Dir.status) with
+        | Dir.Live, Dir.Live when ea.Dir.ino <> eb.Dir.ino ->
+          (* Rule 1: a name conflict. Both names are slightly altered to be
+             distinguished and the owners are notified by mail. *)
+          report.name_conflicts <- report.name_conflicts + 1;
+          let alter (e : Dir.entry) =
+            let altered = Printf.sprintf "%s!conflict!%d" name e.Dir.ino in
+            Dir.insert out ~name:altered ~ino:e.Dir.ino ~stamp:e.Dir.stamp
+              ~origin:e.Dir.origin
+          in
+          alter ea;
+          alter eb;
+          (match fetch_owner k fg ea.Dir.ino with
+          | Some owner ->
+            notify_owner k ~owner
+              ~subject:(Printf.sprintf "name conflict on '%s' in filegroup %d" name fg)
+              report
+          | None -> ())
+        | Dir.Live, Dir.Live ->
+          put (if ea.Dir.stamp >= eb.Dir.stamp then ea else eb)
+        | Dir.Tombstone, Dir.Tombstone ->
+          put (if ea.Dir.stamp >= eb.Dir.stamp then ea else eb)
+        | Dir.Live, Dir.Tombstone | Dir.Tombstone, Dir.Live ->
+          (* Rule 2d: one delete, one live entry: interrogate the inode; if
+             the data was modified since the delete, undo the delete. *)
+          let live, dead =
+            if ea.Dir.status = Dir.Live then (ea, eb) else (eb, ea)
+          in
+          if live.Dir.stamp > dead.Dir.stamp then put live
+          else if modified_since k fg live.Dir.ino ~since:dead.Dir.stamp then begin
+            report.deletes_undone <- report.deletes_undone + 1;
+            put live
+          end
+          else put dead))
+    names;
+  out
+
+(* ---- per-file reconciliation ---- *)
+
+let merged_vv k versions = Vvec.bump (List.fold_left Vvec.merge Vvec.zero versions) k.site
+
+let in_partition_sites k f =
+  Site.Map.fold
+    (fun site _ acc -> if in_partition k site then site :: acc else acc)
+    f.site_vv []
+  |> List.sort Site.compare
+
+(* Resolve concurrent versions of one file according to its type. *)
+let resolve_conflict k gf f copies report =
+  let fg = gf.Gfile.fg in
+  let fetched =
+    List.filter_map
+      (fun (site, vv) ->
+        match fetch_info k site gf with
+        | Some info -> Some (site, vv, info)
+        | None -> None)
+      copies
+  in
+  match fetched with
+  | [] -> ()
+  | (site0, _, info0) :: _ ->
+    let vv = merged_vv k (List.map snd copies) in
+    let others = in_partition_sites k f in
+    let commit_merged ~target content =
+      if write_version k ~target gf ~content ~vv ~others then begin
+        f.latest_vv <- vv;
+        f.site_vv <- Site.Map.add target vv f.site_vv;
+        f.css_conflict <- false;
+        f.css_deleted <- false
+      end
+    in
+    (* A file deleted in one partition but modified in another wants to be
+       saved (section 4.4): prefer a live copy as merge basis. *)
+    let live = List.filter (fun (_, _, i) -> not i.Proto.i_deleted) fetched in
+    let deleted_involved = List.length live < List.length fetched in
+    match info0.Proto.i_ftype with
+    | Inode.Directory | Inode.Hidden_directory ->
+      let dirs =
+        List.filter_map
+          (fun (site, _, info) ->
+            fetch_content k site gf info
+            |> Option.map (fun body ->
+                   try Dir.decode body with Failure _ -> Dir.empty ()))
+          (if live <> [] then live else fetched)
+      in
+      (match dirs with
+      | [] -> ()
+      | first :: rest ->
+        let merged =
+          List.fold_left (fun acc d -> merge_two_dirs k fg acc d report) first rest
+        in
+        report.dir_merges <- report.dir_merges + 1;
+        commit_merged ~target:site0 (Dir.encode merged);
+        record k ~tag:"recon.dir" (Gfile.to_string gf))
+    | Inode.Mailbox ->
+      let boxes =
+        List.filter_map
+          (fun (site, _, info) ->
+            fetch_content k site gf info
+            |> Option.map (fun body ->
+                   try Mbox.decode body with Failure _ -> Mbox.empty ()))
+          (if live <> [] then live else fetched)
+      in
+      (match boxes with
+      | [] -> ()
+      | first :: rest ->
+        let merged = List.fold_left Mbox.merge first rest in
+        report.mail_merges <- report.mail_merges + 1;
+        commit_merged ~target:site0 (Mbox.encode merged);
+        record k ~tag:"recon.mail" (Gfile.to_string gf))
+    | Inode.Regular | Inode.Database | Inode.Fifo ->
+      if deleted_involved && live <> [] then begin
+        (* Delete/modify conflict: save the modified copy. *)
+        let site, _, info = List.hd live in
+        match fetch_content k site gf info with
+        | Some content ->
+          report.saved_from_delete <- report.saved_from_delete + 1;
+          commit_merged ~target:site content;
+          record k ~tag:"recon.saved" (Gfile.to_string gf)
+        | None -> ()
+      end
+      else begin
+        match merge_manager_for info0.Proto.i_ftype with
+        | Some manager -> (
+          (* A higher-level manager (e.g. a database manager) reconciles
+             the divergent versions itself. *)
+          let contents =
+            List.filter_map
+              (fun (site, _, info) -> fetch_content k site gf info)
+              fetched
+          in
+          match contents with
+          | [] -> ()
+          | _ :: _ ->
+            let merged = manager contents in
+            report.manager_merges <- report.manager_merges + 1;
+            commit_merged ~target:site0 merged;
+            record k ~tag:"recon.manager" (Gfile.to_string gf))
+        | None ->
+          (* Untyped conflict: mark the file (normal access fails) and
+             tell the owner by mail; a tool or the user reconciles
+             interactively. *)
+          f.css_conflict <- true;
+          report.conflicts_marked <- report.conflicts_marked + 1;
+          (match fetch_owner k fg gf.Gfile.ino with
+          | Some owner ->
+            notify_owner k ~owner
+              ~subject:
+                (Printf.sprintf "update conflict on %s (%d versions)"
+                   (Gfile.to_string gf) (List.length copies))
+              report
+          | None -> ());
+          record k ~tag:"recon.conflict" (Gfile.to_string gf)
+      end
+
+(* Reconcile one file (also the entry point for demand recovery: a
+   particular directory can be reconciled out of order, section 4.4).
+
+   Directories and mailboxes go through the type-specific merge whenever
+   their copies differ at all — not only on version conflict — because
+   rule 2b can resurrect a deleted entry when the *file* it names was
+   modified in the other partition, which plain propagation of a dominating
+   directory version would lose. *)
+let reconcile_file k gf report =
+  match Css.find_file k gf.Gfile.fg gf.Gfile.ino with
+  | None -> ()
+  | Some f ->
+    report.files_checked <- report.files_checked + 1;
+    let copies = partition_copies k f in
+    match copies with
+    | [] | [ _ ] -> () (* absent or a single version: nothing to reconcile *)
+    | _ :: _ :: _ -> (
+      let mergeable_type =
+        List.exists
+          (fun (site, _) ->
+            match fetch_info k site gf with
+            | Some
+                {
+                  Proto.i_ftype =
+                    Inode.Directory | Inode.Hidden_directory | Inode.Mailbox;
+                  _;
+                } ->
+              true
+            | Some _ | None -> false)
+          copies
+      in
+      if mergeable_type then resolve_conflict k gf f copies report
+      else
+        match maximal_versions copies with
+        | [] -> ()
+        | [ (origin, vv) ] ->
+          if not (Vvec.dominates_or_equal f.latest_vv vv) then f.latest_vv <- vv;
+          schedule_propagation k gf ~vv ~origin f report
+        | concurrent -> resolve_conflict k gf f concurrent report)
+
+(* Reconcile every file of a filegroup; the caller is the filegroup's CSS. *)
+let reconcile_fg k fg =
+  let report = empty_report () in
+  let files =
+    match Hashtbl.find_opt k.css_state fg with
+    | None -> []
+    | Some st -> Hashtbl.fold (fun ino _ acc -> ino :: acc) st.css_files []
+  in
+  List.iter
+    (fun ino -> reconcile_file k (Gfile.make ~fg ~ino) report)
+    (List.sort Int.compare files);
+  report
+
+(* Interactive resolution of a marked conflict: keep the copy stored at
+   [winner]; everyone else pulls the merged version. *)
+let resolve_manual k gf ~winner =
+  match Css.find_file k gf.Gfile.fg gf.Gfile.ino with
+  | None -> false
+  | Some f -> (
+    match fetch_info k winner gf with
+    | None -> false
+    | Some info -> (
+      match fetch_content k winner gf info with
+      | None -> false
+      | Some content ->
+        let versions = List.map snd (partition_copies k f) in
+        let vv = merged_vv k versions in
+        let ok =
+          write_version k ~target:winner gf ~content ~vv
+            ~others:(in_partition_sites k f)
+        in
+        if ok then begin
+          f.latest_vv <- vv;
+          f.site_vv <- Site.Map.add winner vv f.site_vv;
+          f.css_conflict <- false
+        end;
+        ok))

@@ -1,0 +1,35 @@
+open Locus_core.Ktypes
+module Site = Net.Site
+
+type stage = Idle | Partition_polling | Partition_announce | Merging
+
+let stage_of_int = function
+  | 1 -> Partition_polling
+  | 2 -> Partition_announce
+  | 3 -> Merging
+  | _ -> Idle
+
+let stage_to_int = function
+  | Idle -> 0
+  | Partition_polling -> 1
+  | Partition_announce -> 2
+  | Merging -> 3
+
+(* "A site can wait only for those sites who are executing a portion of
+   the protocol that precedes its own. If the two sites are in the same
+   state, the ordering is by site number." *)
+let may_wait_for ~my_stage ~my_site ~their_stage ~their_site =
+  let mine = stage_to_int my_stage and theirs = stage_to_int their_stage in
+  theirs < mine || (theirs = mine && Site.compare their_site my_site < 0)
+
+let check_peer k peer =
+  match rpc k peer (Proto.Status_check { asker = k.site }) with
+  | Proto.R_status { stage; site = _ } ->
+    let my_stage = stage_of_int k.recon_stage in
+    let their_stage = stage_of_int stage in
+    if
+      may_wait_for ~my_stage ~my_site:k.site ~their_stage ~their_site:peer
+    then `Wait
+    else `Proceed
+  | Proto.R_err _ | _ -> `Restart
+  | exception Error (Proto.Enet, _) -> `Restart

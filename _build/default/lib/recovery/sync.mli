@@ -1,0 +1,33 @@
+(** Protocol synchronization (§5.7).
+
+    Reconfiguration is synchronized without ACKs: whenever a site takes a
+    passive role it periodically checks on the active site, restarting the
+    protocol itself if the active site has failed. To prevent circular
+    waits and deadlocks, all protocol stages are totally ordered: a site
+    may wait only for sites executing a stage that *precedes* its own;
+    between sites in the same stage, the lower site number wins. The
+    lowest-ordered site has nobody to legally wait for, so if it is not
+    active its check fails and the protocol restarts at a reasonable
+    point. *)
+
+type stage =
+  | Idle                (** 0: not reconfiguring *)
+  | Partition_polling   (** 1: active in the partition protocol *)
+  | Partition_announce  (** 2: announcing partition membership *)
+  | Merging             (** 3: active in the merge protocol *)
+
+val stage_of_int : int -> stage
+
+val stage_to_int : stage -> int
+
+val may_wait_for :
+  my_stage:stage -> my_site:Net.Site.t -> their_stage:stage -> their_site:Net.Site.t -> bool
+(** The §5.7 ordering rule: wait only for a site in an earlier stage, or —
+    within the same stage — for a lower-numbered site. *)
+
+val check_peer :
+  Locus_core.Ktypes.t -> Net.Site.t -> [ `Proceed | `Wait | `Restart ]
+(** Probe a peer this site is waiting on: [`Wait] if the wait is legal and
+    the peer is alive, [`Proceed] if the wait would be illegal (the peer
+    must act first or not at all), [`Restart] if the peer is unreachable —
+    the waiting site should restart the protocol. *)

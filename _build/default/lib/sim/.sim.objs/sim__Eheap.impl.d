@@ -1,0 +1,1 @@
+lib/sim/eheap.ml: Array

@@ -1,0 +1,21 @@
+(** Binary min-heap of timestamped events.
+
+    Ties on the timestamp are broken by insertion order, which keeps the
+    simulator deterministic when many events fire at the same instant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+
+val clear : 'a t -> unit

@@ -1,0 +1,61 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Eheap.t;
+  rng : Rng.t;
+  stats : Stats.t;
+  trace : Trace.t;
+}
+
+let create ?(seed = 0x10C05L) () =
+  {
+    clock = 0.0;
+    queue = Eheap.create ();
+    rng = Rng.create seed;
+    stats = Stats.create ();
+    trace = Trace.create ();
+  }
+
+let now t = t.clock
+
+let charge t dt =
+  assert (dt >= 0.0);
+  t.clock <- t.clock +. dt
+
+let schedule_at t ~time thunk = Eheap.push t.queue ~time thunk
+
+let schedule t ~delay thunk =
+  assert (delay >= 0.0);
+  schedule_at t ~time:(t.clock +. delay) thunk
+
+let step t =
+  match Eheap.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    if time > t.clock then t.clock <- time;
+    thunk ();
+    true
+
+let run_until_idle ?(limit = 100_000) t =
+  let rec loop n = if n >= limit then n else if step t then loop (n + 1) else n in
+  loop 0
+
+let run_for t dt =
+  let deadline = t.clock +. dt in
+  let rec loop n =
+    match Eheap.peek_time t.queue with
+    | Some time when time <= deadline -> if step t then loop (n + 1) else n
+    | Some _ | None -> n
+  in
+  let n = loop 0 in
+  if t.clock < deadline then t.clock <- deadline;
+  n
+
+let pending t = Eheap.size t.queue
+
+let rng t = t.rng
+
+let stats t = t.stats
+
+let trace t = t.trace
+
+let record t ~tag detail = Trace.record t.trace ~time:t.clock ~tag detail

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator flows through a seeded [Rng.t]
+    so that entire cluster runs are reproducible bit-for-bit. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns a generator whose stream is fully determined by
+    [seed]. *)
+
+val copy : t -> t
+(** Independent copy with identical future stream. *)
+
+val split : t -> t
+(** Derive a new generator whose stream is independent of the parent's
+    subsequent output. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)

@@ -1,0 +1,71 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; series = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t name = Stdlib.incr (counter t name)
+
+let add t name n =
+  let r = counter t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let series t name =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add t.series name r;
+    r
+
+let observe t name v =
+  let r = series t name in
+  r := v :: !r
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let count_samples t name = List.length (samples t name)
+
+let mean t name =
+  match samples t name with
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let max_sample t name = List.fold_left Float.max 0.0 (samples t name)
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+type snapshot = (string * int) list
+
+let snapshot t = counters t
+
+let delta t snap =
+  let old name =
+    match List.assoc_opt name snap with Some v -> v | None -> 0
+  in
+  counters t
+  |> List.filter_map (fun (name, v) ->
+         let d = v - old name in
+         if d = 0 then None else Some (name, d))
+
+let delta_of t snap name =
+  let old = match List.assoc_opt name snap with Some v -> v | None -> 0 in
+  get t name - old

@@ -1,0 +1,45 @@
+(** Named counters, accumulators and histograms for experiment accounting.
+
+    Experiments snapshot counters around an operation to report, e.g., the
+    number of network messages an open required. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment the named counter by one. *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to the named counter. *)
+
+val get : t -> string -> int
+(** Value of the named counter (0 if never touched). *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample of the named series. *)
+
+val mean : t -> string -> float
+(** Mean of a series; 0 if empty. *)
+
+val samples : t -> string -> float list
+(** All recorded samples, oldest first. *)
+
+val count_samples : t -> string -> int
+
+val max_sample : t -> string -> float
+
+val reset : t -> unit
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val delta : t -> snapshot -> (string * int) list
+(** Counter deltas since [snapshot], restricted to counters that changed. *)
+
+val delta_of : t -> snapshot -> string -> int
+(** Delta of a single counter since [snapshot]. *)

@@ -1,0 +1,30 @@
+type event = { time : float; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable items : event list; (* newest first *)
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () = { capacity; items = []; count = 0 }
+
+let record t ~time ~tag detail =
+  t.items <- { time; tag; detail } :: t.items;
+  t.count <- t.count + 1;
+  if t.count > 2 * t.capacity then begin
+    (* Amortized truncation: keep the newest [capacity] events. *)
+    t.items <- List.filteri (fun i _ -> i < t.capacity) t.items;
+    t.count <- t.capacity
+  end
+
+let events t =
+  let l = if t.count > t.capacity then List.filteri (fun i _ -> i < t.capacity) t.items else t.items in
+  List.rev l
+
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
+
+let clear t =
+  t.items <- [];
+  t.count <- 0
+
+let pp_event ppf e = Format.fprintf ppf "[%8.4f] %-14s %s" e.time e.tag e.detail

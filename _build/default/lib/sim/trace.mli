@@ -1,0 +1,23 @@
+(** Bounded event trace.
+
+    Kernels append human-readable protocol events; tests and the experiment
+    harness read them back to verify message sequences (e.g. the open
+    protocol of Figure 2). *)
+
+type t
+
+type event = { time : float; tag : string; detail : string }
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer keeping the most recent [capacity] events (default 4096). *)
+
+val record : t -> time:float -> tag:string -> string -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val find_all : t -> tag:string -> event list
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit

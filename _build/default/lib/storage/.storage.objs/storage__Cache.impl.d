@@ -1,0 +1,1 @@
+lib/storage/cache.ml: Hashtbl List Page

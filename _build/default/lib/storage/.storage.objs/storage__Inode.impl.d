@@ -1,0 +1,1 @@
+lib/storage/inode.ml: Array Format Page Vv

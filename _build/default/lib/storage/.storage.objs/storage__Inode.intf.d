@@ -1,0 +1,1 @@
+lib/storage/inode.mli: Format Vv

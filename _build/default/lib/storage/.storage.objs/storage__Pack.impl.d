@@ -1,0 +1,1 @@
+lib/storage/pack.ml: Array Buffer Disk Format Hashtbl Inode Int List Page

@@ -1,0 +1,1 @@
+lib/storage/pack.mli: Disk Format Inode Page

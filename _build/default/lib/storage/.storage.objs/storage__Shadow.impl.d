@@ -1,0 +1,1 @@
+lib/storage/shadow.ml: Array Disk Hashtbl Inode Int List Pack Page String

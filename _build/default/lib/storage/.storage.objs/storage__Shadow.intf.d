@@ -1,0 +1,1 @@
+lib/storage/shadow.mli: Inode Pack Page Vv

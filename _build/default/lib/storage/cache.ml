@@ -1,0 +1,56 @@
+type 'k t = {
+  capacity : int;
+  table : ('k, Page.t) Hashtbl.t;
+  mutable order : 'k list; (* most recent first; may contain stale keys *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create capacity; order = []; hits = 0; misses = 0 }
+
+let touch t key = t.order <- key :: List.filter (fun k -> k <> key) t.order
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some page ->
+    t.hits <- t.hits + 1;
+    touch t key;
+    Some (Page.copy page)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let evict_to_capacity t =
+  while Hashtbl.length t.table > t.capacity do
+    match List.rev t.order with
+    | [] -> Hashtbl.reset t.table
+    | victim :: _ ->
+      Hashtbl.remove t.table victim;
+      t.order <- List.filter (fun k -> k <> victim) t.order
+  done
+
+let insert t key page =
+  Hashtbl.replace t.table key (Page.copy page);
+  touch t key;
+  evict_to_capacity t
+
+let invalidate t key =
+  Hashtbl.remove t.table key;
+  t.order <- List.filter (fun k -> k <> key) t.order
+
+let invalidate_if t pred =
+  let victims = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) t.table [] in
+  List.iter (fun k -> Hashtbl.remove t.table k) victims;
+  t.order <- List.filter (fun k -> not (pred k)) t.order
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.order <- []
+
+let length t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let misses t = t.misses

@@ -1,0 +1,30 @@
+(** LRU buffer cache.
+
+    Used at a storage site for disk pages and at a using site for pages
+    fetched across the network (§2.3.3: "all such requests are serviced via
+    kernel buffers"). Keys are caller-chosen; entries are whole pages. *)
+
+type 'k t
+
+val create : capacity:int -> 'k t
+
+val find : 'k t -> 'k -> Page.t option
+(** Hit moves the entry to most-recently-used and returns a copy. *)
+
+val insert : 'k t -> 'k -> Page.t -> unit
+(** Insert (or refresh) a copy of the page, evicting the least recently
+    used entry if over capacity. *)
+
+val invalidate : 'k t -> 'k -> unit
+
+val invalidate_if : 'k t -> ('k -> bool) -> unit
+(** Drop all entries whose key satisfies the predicate (e.g. every page of
+    a file that just changed version). *)
+
+val clear : 'k t -> unit
+
+val length : 'k t -> int
+
+val hits : 'k t -> int
+
+val misses : 'k t -> int

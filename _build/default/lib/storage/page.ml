@@ -1,0 +1,32 @@
+let size = 1024
+
+type t = Bytes.t
+
+let blank () = Bytes.make size '\000'
+
+let copy = Bytes.copy
+
+let of_string s =
+  let p = blank () in
+  let n = min (String.length s) size in
+  Bytes.blit_string s 0 p 0 n;
+  p
+
+let to_string p = Bytes.to_string p
+
+let blit_string s page off = Bytes.blit_string s 0 page off (String.length s)
+
+let sub page off len = Bytes.sub_string page off len
+
+let get_u32 p off =
+  let b i = Char.code (Bytes.get p (off + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let set_u32 p off v =
+  let set i x = Bytes.set p (off + i) (Char.chr (x land 0xff)) in
+  set 0 (v lsr 24);
+  set 1 (v lsr 16);
+  set 2 (v lsr 8);
+  set 3 v
+
+let equal = Bytes.equal

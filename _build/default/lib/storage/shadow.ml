@@ -1,0 +1,179 @@
+type slot = { old_addr : int; fresh_addr : int }
+
+type t = {
+  pack : Pack.t;
+  ino : int;
+  incore : Inode.t;
+  table : int array; (* current logical->physical map, shadows included *)
+  had_indirect : int; (* old indirect page address, 0 if none *)
+  shadows : (int, slot) Hashtbl.t; (* lpage -> slot *)
+  mutable truncated_old : int list; (* old addrs to free on commit *)
+  mutable finished : bool;
+}
+
+let begin_modify pack ino =
+  let base = Pack.get_inode pack ino in
+  {
+    pack;
+    ino;
+    incore = Inode.clone base;
+    table = Pack.load_table pack base;
+    had_indirect = base.Inode.indirect;
+    shadows = Hashtbl.create 16;
+    truncated_old = [];
+    finished = false;
+  }
+
+let incore t = t.incore
+
+let pack t = t.pack
+
+let check_active t = if t.finished then invalid_arg "Shadow: session already finished"
+
+let check_lpage lpage =
+  if lpage < 0 || lpage >= Inode.max_pages then
+    invalid_arg "Shadow: logical page out of range"
+
+let disk t = Pack.disk t.pack
+
+let read_page t lpage =
+  check_active t;
+  check_lpage lpage;
+  let addr = t.table.(lpage) in
+  if addr = 0 then Page.blank () else Disk.read (disk t) addr
+
+(* Ensure lpage has a shadow page; returns its address. After the first
+   modification the shadow page is reused in place (section 2.3.6). *)
+let shadow_addr t lpage =
+  match Hashtbl.find_opt t.shadows lpage with
+  | Some slot -> slot.fresh_addr
+  | None ->
+    let fresh = Disk.alloc (disk t) in
+    Hashtbl.add t.shadows lpage { old_addr = t.table.(lpage); fresh_addr = fresh };
+    t.table.(lpage) <- fresh;
+    fresh
+
+let grow_size t lpage =
+  let wanted = (lpage + 1) * Page.size in
+  if t.incore.Inode.size < wanted then t.incore.Inode.size <- wanted
+
+let write_page t ~lpage page =
+  check_active t;
+  check_lpage lpage;
+  let addr = shadow_addr t lpage in
+  Disk.write (disk t) addr page;
+  grow_size t lpage
+
+let patch_page t ~lpage ~off data =
+  check_active t;
+  check_lpage lpage;
+  if off < 0 || off + String.length data > Page.size then
+    invalid_arg "Shadow.patch_page: out of page bounds";
+  let page = read_page t lpage in
+  Page.blit_string data page off;
+  let addr = shadow_addr t lpage in
+  Disk.write (disk t) addr page;
+  let wanted = (lpage * Page.size) + off + String.length data in
+  if t.incore.Inode.size < wanted then t.incore.Inode.size <- wanted
+
+let truncate_page t lpage =
+  (match Hashtbl.find_opt t.shadows lpage with
+  | Some slot ->
+    (* Uncommitted shadow page: free it now; the old page goes on commit. *)
+    Disk.free (disk t) slot.fresh_addr;
+    if slot.old_addr <> 0 then t.truncated_old <- slot.old_addr :: t.truncated_old;
+    Hashtbl.remove t.shadows lpage
+  | None ->
+    if t.table.(lpage) <> 0 then t.truncated_old <- t.table.(lpage) :: t.truncated_old);
+  t.table.(lpage) <- 0
+
+let set_contents t body =
+  check_active t;
+  let len = String.length body in
+  let new_npages = (len + Page.size - 1) / Page.size in
+  if new_npages > Inode.max_pages then invalid_arg "Shadow.set_contents: file too large";
+  for lpage = 0 to new_npages - 1 do
+    let off = lpage * Page.size in
+    let chunk = String.sub body off (min Page.size (len - off)) in
+    write_page t ~lpage (Page.of_string chunk)
+  done;
+  let old_npages = (t.incore.Inode.size + Page.size - 1) / Page.size in
+  for lpage = new_npages to old_npages - 1 do
+    truncate_page t lpage
+  done;
+  t.incore.Inode.size <- len
+
+let truncate t size =
+  check_active t;
+  if size < 0 then invalid_arg "Shadow.truncate: negative size";
+  if size < t.incore.Inode.size then begin
+    let new_npages = (size + Page.size - 1) / Page.size in
+    let old_npages = (t.incore.Inode.size + Page.size - 1) / Page.size in
+    for lpage = new_npages to old_npages - 1 do
+      truncate_page t lpage
+    done;
+    (* Zero the tail of a partial last page so that a later extension reads
+       zeroes, as Unix semantics require. *)
+    let tail_off = size mod Page.size in
+    if tail_off > 0 then begin
+      let lpage = size / Page.size in
+      if t.table.(lpage) <> 0 then begin
+        let page = read_page t lpage in
+        Page.blit_string (String.make (Page.size - tail_off) '\000') page tail_off;
+        let addr = shadow_addr t lpage in
+        Disk.write (disk t) addr page
+      end
+    end;
+    t.incore.Inode.size <- size
+  end
+
+let mark_deleted t ~time =
+  check_active t;
+  t.incore.Inode.deleted <- true;
+  t.incore.Inode.delete_time <- time
+
+let modified_lpages t =
+  Hashtbl.fold (fun lpage _ acc -> lpage :: acc) t.shadows []
+  |> List.sort Int.compare
+
+let needs_indirect t =
+  let rec check i = i < Inode.max_pages && (t.table.(i) <> 0 || check (i + 1)) in
+  check Inode.n_direct
+
+(* Write shadow pages' bookkeeping to disk: the new indirect page if one is
+   needed. Returns the new indirect address (0 for none). *)
+let prepare_indirect t =
+  if needs_indirect t then begin
+    let tail = Array.sub t.table Inode.n_direct Inode.indirect_capacity in
+    Pack.write_indirect t.pack tail
+  end
+  else 0
+
+let commit t ~vv ~mtime =
+  check_active t;
+  let new_indirect = prepare_indirect t in
+  Array.blit t.table 0 t.incore.Inode.direct 0 Inode.n_direct;
+  t.incore.Inode.indirect <- new_indirect;
+  t.incore.Inode.vv <- vv;
+  t.incore.Inode.mtime <- mtime;
+  (* The atomic step: replace the disk inode with the incore inode. *)
+  Pack.install_inode t.pack t.incore;
+  (* Now reclaim the superseded pages. *)
+  Hashtbl.iter
+    (fun _ slot -> if slot.old_addr <> 0 then Disk.free (disk t) slot.old_addr)
+    t.shadows;
+  List.iter (fun addr -> Disk.free (disk t) addr) t.truncated_old;
+  if t.had_indirect <> 0 then Disk.free (disk t) t.had_indirect;
+  t.finished <- true
+
+let crash_before_switch t =
+  check_active t;
+  ignore (prepare_indirect t);
+  (* Nothing else: the new pages are unreachable from the inode table. *)
+  t.finished <- true
+
+let abort t =
+  check_active t;
+  Hashtbl.iter (fun _ slot -> Disk.free (disk t) slot.fresh_addr) t.shadows;
+  Hashtbl.reset t.shadows;
+  t.finished <- true

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Catalog List Locus Locus_core Net Proto Sim Storage String

@@ -1,0 +1,1 @@
+test/test_css.ml: Alcotest Catalog List Locus Locus_core Net Proto Vv

@@ -1,0 +1,1 @@
+test/test_dirmerge.ml: Alcotest Catalog Hashtbl List Locus Locus_core Recovery Storage String

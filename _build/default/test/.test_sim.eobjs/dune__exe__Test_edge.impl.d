@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Catalog Char Hashtbl List Locus Locus_core Printf Proto Storage String

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Catalog Fun Hashtbl List Locus Locus_core Printf Proto Recovery Storage String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Catalog Hashtbl List Locus Locus_core Printf Proto Recovery Storage String Vv

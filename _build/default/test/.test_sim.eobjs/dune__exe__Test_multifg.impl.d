@@ -1,0 +1,1 @@
+test/test_multifg.ml: Alcotest Catalog Locus Locus_core Net Proto

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Net Printf Sim String

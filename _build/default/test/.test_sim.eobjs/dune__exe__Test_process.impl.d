@@ -1,0 +1,1 @@
+test/test_process.ml: Alcotest List Locus Locus_core Proto Sim String

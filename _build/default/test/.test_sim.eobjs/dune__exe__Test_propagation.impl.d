@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest Catalog Hashtbl Locus Locus_core Proto Queue Sim Storage String Vv

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Catalog Hashtbl List Locus Locus_core Net Printf Proto QCheck QCheck_alcotest Recovery Storage String Vv

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Catalog List Proto Storage String Vv

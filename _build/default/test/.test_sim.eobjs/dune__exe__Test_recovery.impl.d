@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Catalog Hashtbl List Locus Locus_core Net Printf Proto Recovery Sim Storage String

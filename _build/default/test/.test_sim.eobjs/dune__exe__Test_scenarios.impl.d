@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Catalog List Locus Locus_core Net Printf Proto Recovery Storage String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Catalog Format Fun Hashtbl List Locus Locus_core Net Printf Proto Recovery Sim Storage String Vv

@@ -1,0 +1,1 @@
+test/test_tokens.ml: Alcotest Buffer Locus Locus_core Proto Sim String

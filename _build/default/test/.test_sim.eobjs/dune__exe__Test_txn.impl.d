@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Locus Locus_core Proto Txn

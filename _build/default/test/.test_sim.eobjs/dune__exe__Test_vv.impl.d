@@ -1,0 +1,1 @@
+test/test_vv.ml: Alcotest List QCheck QCheck_alcotest Vv

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Hashtbl List Locus Locus_core Printf Queue Sim

@@ -1,0 +1,170 @@
+(* Unit tests for the catalog: gfiles, directories with tombstones,
+   mailboxes and their merge, the mount table. *)
+
+module Gfile = Catalog.Gfile
+module Dir = Catalog.Dir
+module Mbox = Catalog.Mailbox
+module Mount = Catalog.Mount
+
+let check = Alcotest.check
+
+(* ---- gfile ---- *)
+
+let test_gfile_compare () =
+  let a = Gfile.make ~fg:0 ~ino:1 in
+  let b = Gfile.make ~fg:0 ~ino:2 in
+  let c = Gfile.make ~fg:1 ~ino:1 in
+  check Alcotest.bool "a < b" true (Gfile.compare a b < 0);
+  check Alcotest.bool "b < c" true (Gfile.compare b c < 0);
+  check Alcotest.bool "equal" true (Gfile.equal a (Gfile.make ~fg:0 ~ino:1));
+  check Alcotest.string "pp" "<0,1>" (Gfile.to_string a)
+
+(* ---- directories ---- *)
+
+let test_dir_insert_lookup () =
+  let d = Dir.empty () in
+  Dir.insert d ~name:"file.txt" ~ino:7 ~stamp:1.0 ~origin:0;
+  check Alcotest.(option int) "lookup" (Some 7) (Dir.lookup d "file.txt");
+  check Alcotest.(option int) "missing" None (Dir.lookup d "nope");
+  check Alcotest.int "cardinal" 1 (Dir.cardinal d)
+
+let test_dir_remove_leaves_tombstone () =
+  let d = Dir.empty () in
+  Dir.insert d ~name:"x" ~ino:3 ~stamp:1.0 ~origin:0;
+  check Alcotest.bool "removed" true (Dir.remove d ~name:"x" ~stamp:2.0 ~origin:1);
+  check Alcotest.(option int) "gone" None (Dir.lookup d "x");
+  (match Dir.find_entry d "x" with
+  | Some e ->
+    check Alcotest.bool "tombstone" true (e.Dir.status = Dir.Tombstone);
+    check (Alcotest.float 1e-9) "stamp" 2.0 e.Dir.stamp;
+    check Alcotest.int "origin" 1 e.Dir.origin
+  | None -> Alcotest.fail "tombstone should remain");
+  check Alcotest.bool "second remove false" false
+    (Dir.remove d ~name:"x" ~stamp:3.0 ~origin:0)
+
+let test_dir_resurrect () =
+  let d = Dir.empty () in
+  Dir.insert d ~name:"x" ~ino:3 ~stamp:1.0 ~origin:0;
+  ignore (Dir.remove d ~name:"x" ~stamp:2.0 ~origin:0);
+  Dir.insert d ~name:"x" ~ino:9 ~stamp:3.0 ~origin:0;
+  check Alcotest.(option int) "resurrected with new ino" (Some 9) (Dir.lookup d "x")
+
+let test_dir_invalid_names () =
+  let d = Dir.empty () in
+  List.iter
+    (fun name ->
+      match Dir.insert d ~name ~ino:1 ~stamp:0.0 ~origin:0 with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail (Printf.sprintf "name %S should be rejected" name))
+    [ ""; "a/b"; "a\tb"; "a\nb" ]
+
+let test_dir_codec_roundtrip () =
+  let d = Dir.empty () in
+  Dir.insert d ~name:"alpha" ~ino:2 ~stamp:1.5 ~origin:0;
+  Dir.insert d ~name:"beta" ~ino:3 ~stamp:2.5 ~origin:1;
+  ignore (Dir.remove d ~name:"beta" ~stamp:3.5 ~origin:1);
+  let d' = Dir.decode (Dir.encode d) in
+  check Alcotest.bool "roundtrip equal" true (Dir.equal d d');
+  check Alcotest.(option int) "live entry survives" (Some 2) (Dir.lookup d' "alpha");
+  match Dir.find_entry d' "beta" with
+  | Some e -> check Alcotest.bool "tombstone survives" true (e.Dir.status = Dir.Tombstone)
+  | None -> Alcotest.fail "tombstone lost in codec"
+
+let test_dir_hard_links () =
+  let d = Dir.empty () in
+  Dir.insert d ~name:"one" ~ino:5 ~stamp:1.0 ~origin:0;
+  Dir.insert d ~name:"two" ~ino:5 ~stamp:1.0 ~origin:0;
+  check Alcotest.(list string) "names of ino" [ "one"; "two" ] (Dir.names_of_ino d 5)
+
+(* ---- mailboxes ---- *)
+
+let test_mbox_insert_delete () =
+  let m = Mbox.empty () in
+  Mbox.insert m ~id:"0.1" ~stamp:1.0 ~from:"alice" ~body:"hi";
+  Mbox.insert m ~id:"0.2" ~stamp:2.0 ~from:"bob" ~body:"yo";
+  check Alcotest.int "two live" 2 (Mbox.cardinal m);
+  check Alcotest.bool "delete" true (Mbox.delete m ~id:"0.1" ~stamp:3.0);
+  check Alcotest.int "one live" 1 (Mbox.cardinal m);
+  check Alcotest.bool "mem" false (Mbox.mem m "0.1");
+  check Alcotest.bool "double delete" false (Mbox.delete m ~id:"0.1" ~stamp:4.0)
+
+let test_mbox_codec_roundtrip () =
+  let m = Mbox.empty () in
+  Mbox.insert m ~id:"1.1" ~stamp:1.0 ~from:"a" ~body:"first";
+  Mbox.insert m ~id:"2.9" ~stamp:2.0 ~from:"b" ~body:"second";
+  ignore (Mbox.delete m ~id:"1.1" ~stamp:3.0);
+  let m' = Mbox.decode (Mbox.encode m) in
+  check Alcotest.bool "roundtrip" true (Mbox.equal m m')
+
+let test_mbox_merge_union_and_deletes () =
+  (* Section 4.5: divergent mailboxes always merge cleanly — inserts and
+     deletes only, ids never collide. *)
+  let base = Mbox.empty () in
+  Mbox.insert base ~id:"0.1" ~stamp:1.0 ~from:"x" ~body:"shared";
+  let a = Mbox.decode (Mbox.encode base) in
+  let b = Mbox.decode (Mbox.encode base) in
+  Mbox.insert a ~id:"1.1" ~stamp:2.0 ~from:"left" ~body:"in A";
+  ignore (Mbox.delete a ~id:"0.1" ~stamp:2.5);
+  Mbox.insert b ~id:"2.1" ~stamp:2.0 ~from:"right" ~body:"in B";
+  let m = Mbox.merge a b in
+  check Alcotest.bool "A's insert present" true (Mbox.mem m "1.1");
+  check Alcotest.bool "B's insert present" true (Mbox.mem m "2.1");
+  check Alcotest.bool "delete wins" false (Mbox.mem m "0.1");
+  (* Merge laws. *)
+  check Alcotest.bool "commutative" true (Mbox.equal (Mbox.merge a b) (Mbox.merge b a));
+  check Alcotest.bool "idempotent" true (Mbox.equal (Mbox.merge a a) a)
+
+(* ---- mount table ---- *)
+
+let test_mount_basics () =
+  let m = Mount.create ~root_fg:0 in
+  check Alcotest.bool "root" true
+    (Gfile.equal (Mount.root m) (Gfile.make ~fg:0 ~ino:1));
+  let point = Gfile.make ~fg:0 ~ino:42 in
+  Mount.add m ~mount_point:point ~child_fg:1;
+  check Alcotest.(option int) "mounted_at" (Some 1) (Mount.mounted_at m point);
+  check Alcotest.(option int) "not a mount point" None
+    (Mount.mounted_at m (Gfile.make ~fg:0 ~ino:43));
+  (match Mount.mount_point_of m 1 with
+  | Some p -> check Alcotest.bool "reverse lookup" true (Gfile.equal p point)
+  | None -> Alcotest.fail "reverse lookup failed");
+  check Alcotest.(option Alcotest.reject) "root has no mount point" None
+    (Mount.mount_point_of m 0 |> Option.map (fun _ -> ()));
+  check Alcotest.(list int) "filegroups" [ 0; 1 ] (Mount.filegroups m)
+
+let test_mount_rejects_duplicates () =
+  let m = Mount.create ~root_fg:0 in
+  let point = Gfile.make ~fg:0 ~ino:5 in
+  Mount.add m ~mount_point:point ~child_fg:1;
+  (match Mount.add m ~mount_point:point ~child_fg:2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate mount point accepted");
+  match Mount.add m ~mount_point:(Gfile.make ~fg:0 ~ino:6) ~child_fg:1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double mount of same fg accepted"
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ("gfile", [ Alcotest.test_case "compare/pp" `Quick test_gfile_compare ]);
+      ( "dir",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_dir_insert_lookup;
+          Alcotest.test_case "tombstones" `Quick test_dir_remove_leaves_tombstone;
+          Alcotest.test_case "resurrect" `Quick test_dir_resurrect;
+          Alcotest.test_case "invalid names" `Quick test_dir_invalid_names;
+          Alcotest.test_case "codec roundtrip" `Quick test_dir_codec_roundtrip;
+          Alcotest.test_case "hard links" `Quick test_dir_hard_links;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "insert/delete" `Quick test_mbox_insert_delete;
+          Alcotest.test_case "codec roundtrip" `Quick test_mbox_codec_roundtrip;
+          Alcotest.test_case "merge" `Quick test_mbox_merge_union_and_deletes;
+        ] );
+      ( "mount",
+        [
+          Alcotest.test_case "basics" `Quick test_mount_basics;
+          Alcotest.test_case "duplicates rejected" `Quick test_mount_rejects_duplicates;
+        ] );
+    ]

@@ -1,0 +1,509 @@
+(* Kernel-level tests: the open protocol and its optimizations, reads and
+   writes through the three logical sites, commit/abort semantics, pathname
+   searching with hidden directories, and the name-space operations. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Us = Locus_core.Us
+module Pathname = Locus_core.Pathname
+module K = Locus_core.Ktypes
+module Stats = Sim.Stats
+module Dir = Catalog.Dir
+module Inode = Storage.Inode
+
+let check = Alcotest.check
+
+(* World with packs only at sites 0 and 1, so sites 2..4 are pure using
+   sites — forcing genuinely remote opens. *)
+let asym_world () =
+  let base = World.default_config ~n_sites:5 () in
+  let config =
+    { base with
+      World.filegroups = [ { World.fg = 0; pack_sites = [ 0; 1 ]; mount_path = None } ]
+    }
+  in
+  World.create ~config ()
+
+let full_world () = World.create ~config:(World.default_config ~n_sites:5 ()) ()
+
+let stats w = World.stats w
+
+let msg_delta w snap = Stats.delta_of (stats w) snap "net.msg"
+
+let gf_of k path =
+  Pathname.resolve_from k ~cwd:(Catalog.Mount.root k.K.mount) ~context:[] path
+
+(* ---- open protocol message counts (Figure 2) ---- *)
+
+(* All roles collocated: an open costs no messages at all. *)
+let test_open_all_local () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/f");
+  Kernel.write_file k0 p0 "/f" "x";
+  ignore (World.settle w);
+  let snap = Stats.snapshot (stats w) in
+  let gf = gf_of k0 "/f" in
+  let o = Us.open_gf k0 gf Proto.Mode_read in
+  check Alcotest.int "local open needs no messages" 0 (msg_delta w snap);
+  Us.close k0 o
+
+(* Fully remote: US=2, CSS=0, SS=1 — the general protocol is 4 messages
+   (open request, storage request, storage response, open response). *)
+let test_open_fully_remote_four_messages () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/f");
+  Kernel.write_file k0 p0 "/f" "x";
+  ignore (World.settle w);
+  let k2 = World.kernel w 2 in
+  let gf = gf_of k2 "/f" in
+  (* Drop the CSS's own copy from the bookkeeping so it must poll site 1. *)
+  let css = World.kernel w 0 in
+  (match Locus_core.Css.find_file css 0 gf.Catalog.Gfile.ino with
+  | Some f -> f.K.site_vv <- Net.Site.Map.remove 0 f.K.site_vv
+  | None -> Alcotest.fail "css state missing");
+  let snap = Stats.snapshot (stats w) in
+  let o = Us.open_gf k2 gf Proto.Mode_read in
+  check Alcotest.int "general open = 4 messages" 4 (msg_delta w snap);
+  Us.close k2 o
+
+(* US = SS optimization: the US stores the latest copy; two messages
+   (request and response to the CSS), no storage poll. *)
+let test_open_us_is_ss_two_messages () =
+  let w = asym_world () in
+  let k1 = World.kernel w 1 and p1 = World.proc w 1 in
+  ignore (Kernel.creat k1 p1 "/g");
+  Kernel.write_file k1 p1 "/g" "y";
+  ignore (World.settle w);
+  let gf = gf_of k1 "/g" in
+  let snap = Stats.snapshot (stats w) in
+  let o = Us.open_gf k1 gf Proto.Mode_read in
+  check Alcotest.int "US-current open = 2 messages" 2 (msg_delta w snap);
+  check Alcotest.bool "US serves itself" true (Net.Site.equal o.K.o_ss 1);
+  Us.close k1 o
+
+(* CSS = SS optimization: CSS stores the latest version and picks itself
+   without message overhead — still 2 messages total from the US. *)
+let test_open_css_is_ss () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/h");
+  Kernel.write_file k0 p0 "/h" "z";
+  ignore (World.settle w);
+  let k2 = World.kernel w 2 in
+  let gf = gf_of k2 "/h" in
+  let snap = Stats.snapshot (stats w) in
+  let o = Us.open_gf k2 gf Proto.Mode_read in
+  check Alcotest.int "CSS-as-SS open = 2 messages" 2 (msg_delta w snap);
+  check Alcotest.bool "CSS serves" true (Net.Site.equal o.K.o_ss 0);
+  Us.close k2 o
+
+(* ---- read protocol ---- *)
+
+let test_remote_read_two_messages_per_page () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/big");
+  Kernel.write_file k0 p0 "/big" (String.make (3 * Storage.Page.size) 'q');
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let gf = gf_of k3 "/big" in
+  let o = Us.open_gf k3 gf Proto.Mode_read in
+  let snap = Stats.snapshot (stats w) in
+  let data, _eof = Us.read_page k3 o 1 in
+  check Alcotest.int "page read = request + response" 2 (msg_delta w snap);
+  check Alcotest.int "full page" Storage.Page.size (String.length data);
+  Us.close k3 o;
+  ignore (World.settle w)
+
+let test_readahead_fills_cache () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/seq");
+  Kernel.write_file k0 p0 "/seq" (String.make (4 * Storage.Page.size) 's');
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let gf = gf_of k3 "/seq" in
+  let o = Us.open_gf k3 gf Proto.Mode_read in
+  let _ = Us.read_page k3 o 0 in
+  let _ = Us.read_page k3 o 1 in
+  ignore (World.settle w);
+  check Alcotest.bool "readahead happened" true
+    (Stats.get (stats w) "us.readahead" > 0);
+  (* Page 2 was prefetched: reading it costs no messages. *)
+  let snap = Stats.snapshot (stats w) in
+  let _ = Us.read_page k3 o 2 in
+  check Alcotest.int "prefetched page is free" 0 (msg_delta w snap);
+  Us.close k3 o;
+  ignore (World.settle w)
+
+let test_cache_keyed_by_version () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/c");
+  Kernel.write_file k0 p0 "/c" "old contents";
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  check Alcotest.string "first read" "old contents" (Kernel.read_file k3 p3 "/c");
+  Kernel.write_file k0 p0 "/c" "new contents";
+  ignore (World.settle w);
+  check Alcotest.string "fresh read after update" "new contents"
+    (Kernel.read_file k3 p3 "/c")
+
+(* ---- write / commit / abort ---- *)
+
+let test_commit_visibility () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/t");
+  Kernel.write_file k0 p0 "/t" "committed";
+  ignore (World.settle w);
+  let k1 = World.kernel w 1 in
+  let gf = gf_of k1 "/t" in
+  let o = Us.open_gf k1 gf Proto.Mode_modify in
+  Us.set_contents k1 o "uncommitted!";
+  Us.abort k1 o;
+  Us.close k1 o;
+  ignore (World.settle w);
+  check Alcotest.string "abort undoes" "committed" (Kernel.read_file k0 p0 "/t")
+
+let test_single_writer_policy () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/lock");
+  Kernel.write_file k0 p0 "/lock" "v";
+  ignore (World.settle w);
+  let gf = gf_of k0 "/lock" in
+  let o1 = Us.open_gf k0 gf Proto.Mode_modify in
+  let k2 = World.kernel w 2 in
+  (match Us.open_gf k2 (gf_of k2 "/lock") Proto.Mode_modify with
+  | _ -> Alcotest.fail "second writer should be refused"
+  | exception K.Error (Proto.Ebusy, _) -> ());
+  let o2 = Us.open_gf k2 (gf_of k2 "/lock") Proto.Mode_read in
+  Us.close k2 o2;
+  Us.close k0 o1;
+  ignore (World.settle w);
+  let o3 = Us.open_gf k2 (gf_of k2 "/lock") Proto.Mode_modify in
+  Us.close k2 o3;
+  ignore (World.settle w)
+
+let test_concurrent_read_during_write_sees_updates () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/live");
+  Kernel.write_file k0 p0 "/live" "aaaa";
+  ignore (World.settle w);
+  let gf = gf_of k0 "/live" in
+  let ow = Us.open_gf k0 gf Proto.Mode_modify in
+  Us.write k0 ow ~off:0 "bbbb";
+  (* A reader opening now is directed to the single SS and sees the
+     uncommitted write (Unix shared-file semantics, section 3.2). *)
+  let k2 = World.kernel w 2 in
+  let orr = Us.open_gf k2 (gf_of k2 "/live") Proto.Mode_read in
+  let data, _ = Us.read_page k2 orr 0 in
+  check Alcotest.string "reader sees writer's data" "bbbb" (String.sub data 0 4);
+  Us.close k2 orr;
+  Us.commit k0 ow;
+  Us.close k0 ow;
+  ignore (World.settle w)
+
+(* ---- pathname searching ---- *)
+
+let test_nested_paths () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/a");
+  ignore (Kernel.mkdir k0 p0 "/a/b");
+  ignore (Kernel.mkdir k0 p0 "/a/b/c");
+  ignore (Kernel.creat k0 p0 "/a/b/c/deep.txt");
+  Kernel.write_file k0 p0 "/a/b/c/deep.txt" "treasure";
+  ignore (World.settle w);
+  let k4 = World.kernel w 4 and p4 = World.proc w 4 in
+  check Alcotest.string "deep path from remote site" "treasure"
+    (Kernel.read_file k4 p4 "/a/b/c/deep.txt");
+  check Alcotest.string "dots" "treasure"
+    (Kernel.read_file k4 p4 "/a/./b/c/../c/deep.txt");
+  Kernel.chdir k4 p4 "/a/b";
+  check Alcotest.string "relative" "treasure" (Kernel.read_file k4 p4 "c/deep.txt")
+
+let test_enoent_and_enotdir () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/plain");
+  Kernel.write_file k0 p0 "/plain" "x";
+  ignore (World.settle w);
+  (match Kernel.read_file k0 p0 "/missing" with
+  | _ -> Alcotest.fail "expected ENOENT"
+  | exception K.Error (Proto.Enoent, _) -> ());
+  match Kernel.read_file k0 p0 "/plain/sub" with
+  | _ -> Alcotest.fail "expected ENOTDIR"
+  | exception K.Error (Proto.Enotdir, _) -> ()
+
+(* ---- hidden directories (section 2.4.1) ---- *)
+
+let setup_hidden w =
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/bin");
+  ignore (Kernel.mkdir ~hidden:true k0 p0 "/bin/who");
+  ignore (Kernel.creat k0 p0 "/bin/who/@vax");
+  Kernel.write_file k0 p0 "/bin/who/@vax" "vax load module";
+  ignore (Kernel.creat k0 p0 "/bin/who/@pdp11");
+  Kernel.write_file k0 p0 "/bin/who/@pdp11" "pdp11 load module";
+  ignore (World.settle w)
+
+let hidden_world () =
+  let base = World.default_config ~n_sites:4 () in
+  let config =
+    { base with World.machine_type = (fun s -> if s < 2 then "vax" else "pdp11") }
+  in
+  World.create ~config ()
+
+let test_hidden_dir_context_selection () =
+  let w = hidden_world () in
+  setup_hidden w;
+  let read_at site =
+    Kernel.read_file (World.kernel w site) (World.proc w site) "/bin/who"
+  in
+  check Alcotest.string "vax site" "vax load module" (read_at 0);
+  check Alcotest.string "pdp11 site" "pdp11 load module" (read_at 3)
+
+let test_hidden_dir_escape () =
+  let w = hidden_world () in
+  setup_hidden w;
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  check Alcotest.string "escape to pdp11 from a vax site" "pdp11 load module"
+    (Kernel.read_file k0 p0 "/bin/who/@pdp11");
+  let entries = Kernel.readdir k0 p0 "/bin/who" in
+  let names = List.map (fun (e : Dir.entry) -> e.Dir.name) entries in
+  check Alcotest.(list string) "hidden entries visible via escape"
+    [ "pdp11"; "vax" ] names
+
+let test_hidden_dir_no_context_entry () =
+  let w = hidden_world () in
+  setup_hidden w;
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_context p0 [ "cray" ];
+  match Kernel.read_file k0 p0 "/bin/who" with
+  | _ -> Alcotest.fail "no entry for context should fail"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+(* ---- name-space operations ---- *)
+
+let test_unlink () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/gone");
+  Kernel.write_file k0 p0 "/gone" "bye";
+  ignore (World.settle w);
+  Kernel.unlink k0 p0 "/gone";
+  ignore (World.settle w);
+  (match Kernel.read_file k0 p0 "/gone" with
+  | _ -> Alcotest.fail "unlinked file readable"
+  | exception K.Error (Proto.Enoent, _) -> ());
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  match Kernel.read_file k3 p3 "/gone" with
+  | _ -> Alcotest.fail "unlinked file readable remotely"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+let test_hard_link () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/orig");
+  Kernel.write_file k0 p0 "/orig" "shared data";
+  ignore (World.settle w);
+  Kernel.link k0 p0 ~target:"/orig" ~path:"/alias";
+  ignore (World.settle w);
+  check Alcotest.string "alias reads" "shared data" (Kernel.read_file k0 p0 "/alias");
+  let info = Kernel.stat k0 p0 "/alias" in
+  check Alcotest.int "nlink" 2 info.Proto.i_nlink;
+  Kernel.unlink k0 p0 "/orig";
+  ignore (World.settle w);
+  check Alcotest.string "alias survives" "shared data"
+    (Kernel.read_file k0 p0 "/alias")
+
+let test_rename () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/d1");
+  ignore (Kernel.mkdir k0 p0 "/d2");
+  ignore (Kernel.creat k0 p0 "/d1/file");
+  Kernel.write_file k0 p0 "/d1/file" "moving";
+  ignore (World.settle w);
+  Kernel.rename k0 p0 ~from_path:"/d1/file" ~to_path:"/d2/renamed";
+  ignore (World.settle w);
+  check Alcotest.string "new name works" "moving" (Kernel.read_file k0 p0 "/d2/renamed");
+  match Kernel.read_file k0 p0 "/d1/file" with
+  | _ -> Alcotest.fail "old name should be gone"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+let test_readdir () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/list");
+  ignore (Kernel.creat k0 p0 "/list/a");
+  ignore (Kernel.creat k0 p0 "/list/b");
+  ignore (World.settle w);
+  let names =
+    Kernel.readdir k0 p0 "/list" |> List.map (fun (e : Dir.entry) -> e.Dir.name)
+  in
+  check Alcotest.(list string) "entries" [ "."; ".."; "a"; "b" ] names
+
+let test_create_eexist () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/dup");
+  ignore (World.settle w);
+  match Kernel.creat k0 p0 "/dup" with
+  | _ -> Alcotest.fail "duplicate create should fail"
+  | exception K.Error (Proto.Eexist, _) -> ()
+
+(* ---- named pipes ---- *)
+
+let test_named_pipe_across_sites () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkfifo k0 p0 "/fifo");
+  ignore (World.settle w);
+  Kernel.pipe_write k0 p0 "/fifo" "first ";
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  Kernel.pipe_write k3 p3 "/fifo" "second";
+  check Alcotest.string "fifo order across sites" "first second"
+    (Kernel.pipe_read k3 p3 "/fifo" ~max:100);
+  check Alcotest.string "drained" "" (Kernel.pipe_read k0 p0 "/fifo" ~max:100)
+
+(* ---- the reopen race of the close protocol (2.3.3 footnote) ---- *)
+
+(* "The US could attempt to reopen the file before the CSS knew that the
+   file was closed. Thus the responses were added." With the three-message
+   close, an immediate reopen-for-modification always succeeds. *)
+let test_close_reopen_race_free () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/racy");
+  Kernel.write_file k0 p0 "/racy" "r";
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let gf = gf_of k3 "/racy" in
+  for _ = 1 to 10 do
+    (* Open for modification and close, then IMMEDIATELY reopen without
+       letting any background events run: the close must have reached the
+       CSS synchronously or this open bounces with EBUSY. *)
+    let o = Us.open_gf k3 gf Proto.Mode_modify in
+    Us.close k3 o
+  done;
+  (* And a different site can take the write lock right away too. *)
+  let k4 = World.kernel w 4 in
+  let o = Us.open_gf k4 (gf_of k4 "/racy") Proto.Mode_modify in
+  Us.close k4 o;
+  ignore (World.settle w)
+
+(* A site that is not the CSS answers opens with ESTALE so the US can
+   refresh its filegroup knowledge. *)
+let test_stale_css_detected () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/s");
+  ignore (World.settle w);
+  let gf = gf_of k0 "/s" in
+  let k3 = World.kernel w 3 in
+  match
+    k3.K.dispatch 0 (Proto.Open_req { gf; mode = Proto.Mode_read; us_vv = None; shared = false })
+  with
+  | Proto.R_err Proto.Estale -> ()
+  | _ -> Alcotest.fail "non-CSS site should answer ESTALE"
+
+(* ---- the incore-inode guess (2.3.3) ---- *)
+
+let test_read_guess_hits () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/guessed");
+  Kernel.write_file k0 p0 "/guessed" (String.make (4 * Storage.Page.size) 'g');
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let gf = gf_of k3 "/guessed" in
+  let o = Us.open_gf k3 gf Proto.Mode_read in
+  let snap = Stats.snapshot (stats w) in
+  for lpage = 0 to 3 do
+    ignore (Us.read_page k3 o lpage)
+  done;
+  (* Every remote read carried a valid guess: the SS located the incore
+     inode without a lookup. *)
+  check Alcotest.bool "guess hits" true
+    (Stats.delta_of (stats w) snap "ss.guess.hit" >= 4);
+  check Alcotest.int "no guess misses" 0 (Stats.delta_of (stats w) snap "ss.guess.miss");
+  Us.close k3 o;
+  ignore (World.settle w)
+
+(* ---- mailbox convenience ---- *)
+
+let test_mailbox_deliver_read () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/mail");
+  ignore (Kernel.creat ~ftype:Inode.Mailbox k0 p0 "/mail/root");
+  ignore (World.settle w);
+  Kernel.mailbox_deliver k0 ~path:"/mail/root" ~from:"system" ~body:"welcome";
+  Kernel.mailbox_deliver (World.kernel w 2) ~path:"/mail/root" ~from:"s2" ~body:"hi";
+  ignore (World.settle w);
+  let msgs = Kernel.mailbox_read k0 p0 "/mail/root" in
+  check Alcotest.int "two messages" 2 (List.length msgs)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "open-protocol",
+        [
+          Alcotest.test_case "all roles local" `Quick test_open_all_local;
+          Alcotest.test_case "fully remote = 4 msgs" `Quick
+            test_open_fully_remote_four_messages;
+          Alcotest.test_case "US-is-SS optimization" `Quick
+            test_open_us_is_ss_two_messages;
+          Alcotest.test_case "CSS-is-SS optimization" `Quick test_open_css_is_ss;
+        ] );
+      ( "read",
+        [
+          Alcotest.test_case "2 msgs per remote page" `Quick
+            test_remote_read_two_messages_per_page;
+          Alcotest.test_case "readahead" `Quick test_readahead_fills_cache;
+          Alcotest.test_case "cache keyed by version" `Quick test_cache_keyed_by_version;
+        ] );
+      ( "write-commit",
+        [
+          Alcotest.test_case "abort undoes" `Quick test_commit_visibility;
+          Alcotest.test_case "single writer" `Quick test_single_writer_policy;
+          Alcotest.test_case "reader sees live writes" `Quick
+            test_concurrent_read_during_write_sees_updates;
+        ] );
+      ( "pathname",
+        [
+          Alcotest.test_case "nested paths" `Quick test_nested_paths;
+          Alcotest.test_case "errors" `Quick test_enoent_and_enotdir;
+          Alcotest.test_case "hidden dir context" `Quick test_hidden_dir_context_selection;
+          Alcotest.test_case "hidden dir escape" `Quick test_hidden_dir_escape;
+          Alcotest.test_case "hidden dir miss" `Quick test_hidden_dir_no_context_entry;
+        ] );
+      ( "namespace",
+        [
+          Alcotest.test_case "unlink" `Quick test_unlink;
+          Alcotest.test_case "hard link" `Quick test_hard_link;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "readdir" `Quick test_readdir;
+          Alcotest.test_case "create EEXIST" `Quick test_create_eexist;
+        ] );
+      ( "close-protocol",
+        [
+          Alcotest.test_case "reopen race free" `Quick test_close_reopen_race_free;
+          Alcotest.test_case "stale css" `Quick test_stale_css_detected;
+        ] );
+      ( "guess",
+        [ Alcotest.test_case "read guess hits" `Quick test_read_guess_hits ] );
+      ( "ipc-objects",
+        [
+          Alcotest.test_case "named pipe" `Quick test_named_pipe_across_sites;
+          Alcotest.test_case "mailbox" `Quick test_mailbox_deliver_read;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Exhaustive unit coverage of the directory reconciliation rules of
+   section 4.4, driven directly through Recovery.Reconcile.merge_two_dirs
+   on a live world (the rules interrogate inodes for the modified-since-
+   delete decisions). *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module K = Locus_core.Ktypes
+module Dir = Catalog.Dir
+module Reconcile = Recovery.Reconcile
+
+let check = Alcotest.check
+
+(* A world with one real file whose mtime we control, for rules 2b/2d. *)
+let make_env () =
+  let w = World.create ~config:(World.default_config ~n_sites:2 ()) () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/real");
+  Kernel.write_file k0 p0 "/real" "data";
+  ignore (World.settle w);
+  let gf = Kernel.resolve k0 p0 "/real" in
+  (w, k0, gf.Catalog.Gfile.ino)
+
+let merge w a b =
+  let k0 = World.kernel w 0 in
+  let report = Reconcile.empty_report () in
+  let merged = Reconcile.merge_two_dirs k0 0 a b report in
+  (merged, report)
+
+let dir entries =
+  let d = Dir.empty () in
+  List.iter
+    (fun (name, ino, stamp, dead) ->
+      Dir.insert d ~name ~ino ~stamp ~origin:0;
+      if dead then ignore (Dir.remove d ~name ~stamp:(stamp +. 0.1) ~origin:0))
+    entries;
+  d
+
+(* Rule 2a: entry in one directory only -> propagate. *)
+let test_rule_2a_propagate_entry () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("only_a", ino, 1.0, false) ] in
+  let b = dir [] in
+  let m, _ = merge w a b in
+  check Alcotest.(option int) "propagated" (Some ino) (Dir.lookup m "only_a");
+  (* Symmetric. *)
+  let m2, _ = merge w b a in
+  check Alcotest.(option int) "propagated (sym)" (Some ino) (Dir.lookup m2 "only_a")
+
+(* Rule 2b: tombstone in one, absent in the other -> propagate the delete
+   (the file was NOT modified since). *)
+let test_rule_2b_propagate_delete () =
+  let w, k0, ino = make_env () in
+  let file_mtime =
+    (Storage.Pack.get_inode (Hashtbl.find k0.K.packs 0) ino).Storage.Inode.mtime
+  in
+  let a = dir [ ("gone", ino, file_mtime +. 10.0, true) ] in
+  let b = dir [] in
+  let m, _ = merge w a b in
+  check Alcotest.(option int) "still deleted" None (Dir.lookup m "gone");
+  match Dir.find_entry m "gone" with
+  | Some e -> check Alcotest.bool "tombstone kept" true (e.Dir.status = Dir.Tombstone)
+  | None -> Alcotest.fail "tombstone lost"
+
+(* Rule 2b exception: data modified since the delete -> undo the delete. *)
+let test_rule_2b_undo_delete_if_modified () =
+  let w, k0, ino = make_env () in
+  (* Tombstone older than the file's last modification. *)
+  let file_mtime =
+    (Storage.Pack.get_inode (Hashtbl.find k0.K.packs 0) ino).Storage.Inode.mtime
+  in
+  let a = dir [ ("precious", ino, file_mtime -. 5.0, true) ] in
+  let b = dir [] in
+  let m, report = merge w a b in
+  check Alcotest.(option int) "delete undone" (Some ino) (Dir.lookup m "precious");
+  check Alcotest.bool "counted" true (report.Reconcile.deletes_undone >= 1)
+
+(* Rule 2c: entry in both, neither deleted -> no action needed. *)
+let test_rule_2c_both_live () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("same", ino, 1.0, false) ] in
+  let b = dir [ ("same", ino, 2.0, false) ] in
+  let m, report = merge w a b in
+  check Alcotest.(option int) "kept" (Some ino) (Dir.lookup m "same");
+  check Alcotest.int "no conflicts" 0 report.Reconcile.name_conflicts
+
+(* Rule 2d: live in one, tombstone in the other. Newest wins unless the
+   inode was modified since the delete. *)
+let test_rule_2d_delete_newer_propagates () =
+  let w, k0, ino = make_env () in
+  let file_mtime =
+    (Storage.Pack.get_inode (Hashtbl.find k0.K.packs 0) ino).Storage.Inode.mtime
+  in
+  let a = dir [ ("f", ino, 1.0, false) ] in
+  let b = dir [ ("f", ino, file_mtime +. 100.0, true) ] in
+  let m, _ = merge w a b in
+  check Alcotest.(option int) "delete wins" None (Dir.lookup m "f")
+
+let test_rule_2d_modification_saves () =
+  let w, k0, ino = make_env () in
+  let file_mtime =
+    (Storage.Pack.get_inode (Hashtbl.find k0.K.packs 0) ino).Storage.Inode.mtime
+  in
+  (* Tombstone precedes the modification; live entry even older. *)
+  let a = dir [ ("f", ino, 0.5, false) ] in
+  let b =
+    let d = Dir.empty () in
+    Dir.insert d ~name:"f" ~ino ~stamp:0.5 ~origin:1;
+    ignore (Dir.remove d ~name:"f" ~stamp:(file_mtime -. 1.0) ~origin:1);
+    d
+  in
+  let m, report = merge w a b in
+  check Alcotest.(option int) "file saved" (Some ino) (Dir.lookup m "f");
+  check Alcotest.bool "undo counted" true (report.Reconcile.deletes_undone >= 1)
+
+(* Rule 1: same name bound to different inodes, both live -> both names
+   slightly altered, owners notified. *)
+let test_rule_1_name_conflict () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("clash", ino, 1.0, false) ] in
+  let b = dir [ ("clash", ino + 1, 1.0, false) ] in
+  let m, report = merge w a b in
+  check Alcotest.(option int) "original name gone" None (Dir.lookup m "clash");
+  check Alcotest.int "one name conflict" 1 report.Reconcile.name_conflicts;
+  let live = Dir.live_entries m in
+  check Alcotest.int "both versions kept" 2 (List.length live);
+  List.iter
+    (fun (e : Dir.entry) ->
+      if not (String.length e.Dir.name > 5 && String.sub e.Dir.name 0 5 = "clash")
+      then Alcotest.failf "altered name %s should derive from 'clash'" e.Dir.name)
+    live
+
+(* Both tombstoned -> newest tombstone kept, still deleted. *)
+let test_both_tombstones () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("dead", ino, 1.0, true) ] in
+  let b = dir [ ("dead", ino, 5.0, true) ] in
+  let m, _ = merge w a b in
+  check Alcotest.(option int) "still dead" None (Dir.lookup m "dead");
+  match Dir.find_entry m "dead" with
+  | Some e -> check (Alcotest.float 0.01) "newest stamp" 5.1 e.Dir.stamp
+  | None -> Alcotest.fail "tombstone lost"
+
+(* Hard links: two names for one inode in different partitions both
+   survive (the link handling of 4.4). *)
+let test_links_survive () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("name1", ino, 1.0, false) ] in
+  let b = dir [ ("name2", ino, 1.0, false) ] in
+  let m, _ = merge w a b in
+  check Alcotest.(option int) "name1" (Some ino) (Dir.lookup m "name1");
+  check Alcotest.(option int) "name2" (Some ino) (Dir.lookup m "name2");
+  check Alcotest.(list string) "both names bind the inode" [ "name1"; "name2" ]
+    (Dir.names_of_ino m ino)
+
+(* Merge is commutative on non-conflicting directories. *)
+let test_merge_commutative () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("x", ino, 1.0, false); ("y", ino + 5, 2.0, true) ] in
+  let b = dir [ ("z", ino + 9, 3.0, false) ] in
+  let m1, _ = merge w a b in
+  let m2, _ = merge w b a in
+  check Alcotest.bool "commutative" true (Dir.equal m1 m2)
+
+(* Idempotence: merging a directory with itself is the identity. *)
+let test_merge_idempotent () =
+  let w, _, ino = make_env () in
+  let a = dir [ ("x", ino, 1.0, false); ("y", ino + 5, 2.0, true) ] in
+  let m, _ = merge w a a in
+  check Alcotest.bool "idempotent" true (Dir.equal m a)
+
+let () =
+  Alcotest.run "dirmerge"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "2a propagate entry" `Quick test_rule_2a_propagate_entry;
+          Alcotest.test_case "2b propagate delete" `Quick test_rule_2b_propagate_delete;
+          Alcotest.test_case "2b undo if modified" `Quick test_rule_2b_undo_delete_if_modified;
+          Alcotest.test_case "2c both live" `Quick test_rule_2c_both_live;
+          Alcotest.test_case "2d delete newer" `Quick test_rule_2d_delete_newer_propagates;
+          Alcotest.test_case "2d modification saves" `Quick test_rule_2d_modification_saves;
+          Alcotest.test_case "1 name conflict" `Quick test_rule_1_name_conflict;
+          Alcotest.test_case "tombstone vs tombstone" `Quick test_both_tombstones;
+          Alcotest.test_case "links survive" `Quick test_links_survive;
+        ] );
+      ( "laws",
+        [
+          Alcotest.test_case "commutative" `Quick test_merge_commutative;
+          Alcotest.test_case "idempotent" `Quick test_merge_idempotent;
+        ] );
+    ]

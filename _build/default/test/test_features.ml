@@ -1,0 +1,348 @@
+(* Tests for protection checks, attribute changes, execution advice lists,
+   pluggable merge managers, inode reclamation, page invalidation, and
+   crash/restart durability. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Process = Locus_core.Process
+module Us = Locus_core.Us
+module K = Locus_core.Ktypes
+module Pack = Storage.Pack
+module Inode = Storage.Inode
+module Reconcile = Recovery.Reconcile
+
+let check = Alcotest.check
+
+let make_world ?(n = 4) () = World.create ~config:(World.default_config ~n_sites:n ()) ()
+
+(* ---- protection ---- *)
+
+let user_proc w site uid =
+  let p = Process.create_process (World.kernel w site) ~uid in
+  p
+
+let test_permission_denied_for_other () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/secret");
+  Kernel.write_file k0 p0 "/secret" "root only";
+  Kernel.chmod k0 p0 "/secret" 0o600;
+  ignore (World.settle w);
+  let alice = user_proc w 1 "alice" in
+  let k1 = World.kernel w 1 in
+  (match Kernel.read_file k1 alice "/secret" with
+  | _ -> Alcotest.fail "other user should be denied"
+  | exception K.Error (Proto.Eaccess, _) -> ());
+  (* Owner (and root) still allowed. *)
+  check Alcotest.string "owner reads" "root only" (Kernel.read_file k0 p0 "/secret")
+
+let test_owner_write_bit () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 in
+  let alice = user_proc w 0 "alice" in
+  ignore (Kernel.creat k0 alice "/mine");
+  Kernel.write_file k0 alice "/mine" "v1";
+  Kernel.chmod k0 alice "/mine" 0o444;
+  ignore (World.settle w);
+  (match Kernel.write_file k0 alice "/mine" "v2" with
+  | () -> Alcotest.fail "read-only file should refuse writes"
+  | exception K.Error (Proto.Eaccess, _) -> ());
+  Kernel.chmod k0 alice "/mine" 0o644;
+  Kernel.write_file k0 alice "/mine" "v2";
+  check Alcotest.string "writable again" "v2" (Kernel.read_file k0 alice "/mine")
+
+let test_chmod_propagates () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat k0 p0 "/p");
+  Kernel.write_file k0 p0 "/p" "x";
+  ignore (World.settle w);
+  Kernel.chmod k0 p0 "/p" 0o640;
+  ignore (World.settle w);
+  (* The metadata change reached every copy. *)
+  List.iter
+    (fun s ->
+      let k = World.kernel w s in
+      let pack = Hashtbl.find k.K.packs 0 in
+      let gf = Kernel.resolve k (World.proc w s) "/p" in
+      match Pack.find_inode pack gf.Catalog.Gfile.ino with
+      | Some inode -> check Alcotest.int
+                        (Printf.sprintf "perms at %d" s) 0o640 inode.Inode.perms
+      | None -> Alcotest.fail "copy missing")
+    [ 0; 1; 2; 3 ]
+
+let test_chown_only_owner () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 in
+  let alice = user_proc w 0 "alice" and bob = user_proc w 0 "bob" in
+  ignore (Kernel.creat k0 alice "/a_file");
+  ignore (World.settle w);
+  (match Kernel.chown k0 bob "/a_file" "bob" with
+  | () -> Alcotest.fail "non-owner chown should fail"
+  | exception K.Error (Proto.Eaccess, _) -> ());
+  Kernel.chown k0 alice "/a_file" "bob";
+  let info = Kernel.stat k0 alice "/a_file" in
+  check Alcotest.string "new owner" "bob" info.Proto.i_owner
+
+(* ---- advice lists ---- *)
+
+let test_advice_list_fallback () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice_list p0 [ 3; 2 ];
+  let _, site = Process.fork k0 p0 in
+  check Alcotest.int "first advice wins" 3 site;
+  (* Crash site 3: the next fork falls through to site 2. *)
+  World.crash_site w 3;
+  ignore (World.detect_failures w ~initiator:0);
+  let _, site2 = Process.fork k0 p0 in
+  check Alcotest.int "fallback to second advice" 2 site2;
+  (* No advice reachable: execute locally. *)
+  World.crash_site w 2;
+  ignore (World.detect_failures w ~initiator:0);
+  let _, site3 = Process.fork k0 p0 in
+  check Alcotest.int "local default" 0 site3
+
+(* ---- merge managers ---- *)
+
+let test_database_merge_manager () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat ~ftype:Inode.Database k0 p0 "/db");
+  Kernel.write_file k0 p0 "/db" "k1=a\n";
+  ignore (World.settle w);
+  (* A line-set-union manager for database files. *)
+  Reconcile.register_merge_manager Inode.Database (fun contents ->
+      contents
+      |> List.concat_map (String.split_on_char '\n')
+      |> List.filter (fun l -> l <> "")
+      |> List.sort_uniq String.compare
+      |> fun lines -> String.concat "\n" lines ^ "\n");
+  Fun.protect ~finally:(fun () -> Reconcile.unregister_merge_manager Inode.Database)
+  @@ fun () ->
+  ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
+  Kernel.write_file k0 p0 "/db" "k1=a\nk2=left\n";
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  Kernel.write_file k2 p2 "/db" "k1=a\nk3=right\n";
+  ignore (World.settle w);
+  let _, recon = World.heal_and_merge w in
+  let managed =
+    List.fold_left (fun a (_, r) -> a + r.Reconcile.manager_merges) 0 recon
+  in
+  let conflicts =
+    List.fold_left (fun a (_, r) -> a + r.Reconcile.conflicts_marked) 0 recon
+  in
+  check Alcotest.int "manager resolved it" 1 managed;
+  check Alcotest.int "no conflict marked" 0 conflicts;
+  check Alcotest.string "merged union" "k1=a\nk2=left\nk3=right\n"
+    (Kernel.read_file k0 p0 "/db")
+
+let test_database_without_manager_conflicts () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat ~ftype:Inode.Database k0 p0 "/db");
+  Kernel.write_file k0 p0 "/db" "base";
+  ignore (World.settle w);
+  ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
+  Kernel.write_file k0 p0 "/db" "left";
+  Kernel.write_file (World.kernel w 2) (World.proc w 2) "/db" "right";
+  ignore (World.settle w);
+  let _, recon = World.heal_and_merge w in
+  check Alcotest.int "conflict marked without manager" 1
+    (List.fold_left (fun a (_, r) -> a + r.Reconcile.conflicts_marked) 0 recon)
+
+(* ---- inode reclamation after delete (2.3.7) ---- *)
+
+let test_delete_reclaims_inode () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat k0 p0 "/dead");
+  Kernel.write_file k0 p0 "/dead" "short life";
+  ignore (World.settle w);
+  let gf = Kernel.resolve k0 p0 "/dead" in
+  Kernel.unlink k0 p0 "/dead";
+  ignore (World.settle w);
+  (* Once every storage site has seen the delete, the descriptor is
+     released everywhere. *)
+  List.iter
+    (fun s ->
+      let k = World.kernel w s in
+      let pack = Hashtbl.find k.K.packs 0 in
+      check Alcotest.bool
+        (Printf.sprintf "inode gone at %d" s)
+        false
+        (Pack.stores pack gf.Catalog.Gfile.ino))
+    [ 0; 1; 2; 3 ]
+
+(* ---- page invalidation during concurrent read/write (3.2) ---- *)
+
+let test_page_invalidation () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 1;
+  ignore (Kernel.creat k0 p0 "/hot");
+  Kernel.write_file k0 p0 "/hot" "aaaa";
+  ignore (World.settle w);
+  (* Reader at site 2 opens and caches page 0. *)
+  let k2 = World.kernel w 2 in
+  let o_r = Us.open_gf k2 (Kernel.resolve k2 (World.proc w 2) "/hot") Proto.Mode_read in
+  ignore (Us.read_page k2 o_r 0);
+  (* Writer at site 1 modifies: the SS invalidates site 2's buffer. *)
+  let k1 = World.kernel w 1 in
+  let o_w = Us.open_gf k1 (Kernel.resolve k1 (World.proc w 1) "/hot") Proto.Mode_modify in
+  Us.write k1 o_w ~off:0 "bbbb";
+  ignore (World.settle w);
+  let data, _ = Us.read_page k2 o_r 0 in
+  check Alcotest.string "stale buffer invalidated" "bbbb" (String.sub data 0 4);
+  Us.commit k1 o_w;
+  Us.close k1 o_w;
+  Us.close k2 o_r;
+  ignore (World.settle w)
+
+(* ---- crash durability ---- *)
+
+let test_crash_loses_uncommitted_keeps_committed () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 1;
+  ignore (Kernel.creat k0 p0 "/durable");
+  Kernel.write_file k0 p0 "/durable" "committed state";
+  ignore (World.settle w);
+  let gf = Kernel.resolve k0 p0 "/durable" in
+  let o = Us.open_gf k0 gf Proto.Mode_modify in
+  Us.write k0 o ~off:0 "UNCOMMITTED....";
+  (* Crash before commit; restart; the committed version survives and the
+     orphaned shadow pages are scavenged. *)
+  World.crash_site w 0;
+  World.restart_site w 0;
+  ignore (World.heal_and_merge w);
+  let p0' = World.proc w 0 in
+  check Alcotest.string "committed state survives" "committed state"
+    (Kernel.read_file (World.kernel w 0) p0' "/durable")
+
+let test_restart_rejoins_and_catches_up () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat k0 p0 "/news");
+  Kernel.write_file k0 p0 "/news" "v1";
+  ignore (World.settle w);
+  World.crash_site w 3;
+  ignore (World.detect_failures w ~initiator:0);
+  Kernel.write_file k0 p0 "/news" "v2 while 3 down";
+  ignore (World.settle w);
+  World.restart_site w 3;
+  ignore (World.heal_and_merge w);
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  check Alcotest.string "restarted site caught up" "v2 while 3 down"
+    (Kernel.read_file k3 p3 "/news")
+
+(* ---- protocol synchronization and wait ordering (5.7) ---- *)
+
+let test_wait_ordering_total () =
+  let open Recovery.Sync in
+  (* Earlier stage: always waitable. *)
+  check Alcotest.bool "earlier stage" true
+    (may_wait_for ~my_stage:Merging ~my_site:0 ~their_stage:Partition_polling
+       ~their_site:5);
+  (* Later stage: never waitable. *)
+  check Alcotest.bool "later stage" false
+    (may_wait_for ~my_stage:Partition_polling ~my_site:0 ~their_stage:Merging
+       ~their_site:5);
+  (* Same stage: lower site number only. *)
+  check Alcotest.bool "same stage, lower site" true
+    (may_wait_for ~my_stage:Merging ~my_site:4 ~their_stage:Merging ~their_site:2);
+  check Alcotest.bool "same stage, higher site" false
+    (may_wait_for ~my_stage:Merging ~my_site:2 ~their_stage:Merging ~their_site:4);
+  (* No circular waits: for any pair, at most one direction is legal. *)
+  let stages = [ Idle; Partition_polling; Partition_announce; Merging ] in
+  List.iter
+    (fun sa ->
+      List.iter
+        (fun sb ->
+          List.iter
+            (fun (a, b) ->
+              let ab = may_wait_for ~my_stage:sa ~my_site:a ~their_stage:sb ~their_site:b in
+              let ba = may_wait_for ~my_stage:sb ~my_site:b ~their_stage:sa ~their_site:a in
+              if ab && ba then Alcotest.fail "circular wait possible")
+            [ (0, 1); (1, 0); (2, 5) ])
+        stages)
+    stages
+
+let test_check_peer_outcomes () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and k1 = World.kernel w 1 in
+  (* Peer in a later stage than ours: waiting for it would be illegal
+     (it is ahead; it will not act for us). *)
+  k0.K.recon_stage <- 1;
+  k1.K.recon_stage <- 3;
+  check Alcotest.bool "proceed past later-stage peer" true
+    (Recovery.Sync.check_peer k0 1 = `Proceed);
+  (* Peer in an earlier stage: legal wait. *)
+  k0.K.recon_stage <- 3;
+  k1.K.recon_stage <- 1;
+  check Alcotest.bool "wait for earlier stage" true
+    (Recovery.Sync.check_peer k0 1 = `Wait);
+  k0.K.recon_stage <- 0;
+  k1.K.recon_stage <- 0;
+  (* Peer dead: restart. *)
+  World.crash_site w 1;
+  check Alcotest.bool "restart on dead peer" true
+    (Recovery.Sync.check_peer k0 1 = `Restart)
+
+(* ---- protocol synchronization probe (5.7) ---- *)
+
+let test_status_check_stage () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 in
+  let k1 = World.kernel w 1 in
+  k1.K.recon_stage <- 2;
+  match
+    Locus_core.Ktypes.rpc k0 1 (Proto.Status_check { asker = 0 })
+  with
+  | Proto.R_status { stage; site } ->
+    check Alcotest.int "stage" 2 stage;
+    check Alcotest.int "site" 1 site;
+    k1.K.recon_stage <- 0
+  | _ -> Alcotest.fail "expected status"
+
+let () =
+  Alcotest.run "features"
+    [
+      ( "protection",
+        [
+          Alcotest.test_case "deny other user" `Quick test_permission_denied_for_other;
+          Alcotest.test_case "owner write bit" `Quick test_owner_write_bit;
+          Alcotest.test_case "chmod propagates" `Quick test_chmod_propagates;
+          Alcotest.test_case "chown owner-only" `Quick test_chown_only_owner;
+        ] );
+      ( "advice",
+        [ Alcotest.test_case "advice list fallback" `Quick test_advice_list_fallback ] );
+      ( "merge-managers",
+        [
+          Alcotest.test_case "database manager merges" `Quick test_database_merge_manager;
+          Alcotest.test_case "no manager -> conflict" `Quick
+            test_database_without_manager_conflicts;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "delete reclaims inode" `Quick test_delete_reclaims_inode;
+          Alcotest.test_case "page invalidation" `Quick test_page_invalidation;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "crash keeps committed" `Quick
+            test_crash_loses_uncommitted_keeps_committed;
+          Alcotest.test_case "restart catches up" `Quick test_restart_rejoins_and_catches_up;
+        ] );
+      ( "sync-probe",
+        [
+          Alcotest.test_case "status check" `Quick test_status_check_stage;
+          Alcotest.test_case "wait ordering total" `Quick test_wait_ordering_total;
+          Alcotest.test_case "check_peer outcomes" `Quick test_check_peer_outcomes;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* End-to-end cluster scenarios: transparent access, replication and
+   propagation, partitioned operation, merge and reconciliation. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module K = Locus_core.Ktypes
+module Vvec = Vv.Version_vector
+
+let check = Alcotest.check
+let string_ = Alcotest.string
+let int_ = Alcotest.int
+let bool_ = Alcotest.bool
+
+let make_world ?(n = 5) () =
+  let config = World.default_config ~n_sites:n () in
+  World.create ~config ()
+
+(* Write at one site, read everywhere: network transparency. *)
+let test_transparent_rw () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/hello.txt");
+  Kernel.write_file k0 p0 "/hello.txt" "hello from site 0";
+  ignore (World.settle w);
+  List.iter
+    (fun site ->
+      let k = World.kernel w site and p = World.proc w site in
+      check string_
+        (Printf.sprintf "read from site %d" site)
+        "hello from site 0"
+        (Kernel.read_file k p "/hello.txt"))
+    [ 0; 1; 2; 3; 4 ]
+
+(* A remote update is seen by subsequent readers at every site. *)
+let test_remote_update () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  ignore (Kernel.creat k0 p0 "/data");
+  Kernel.write_file k0 p0 "/data" "v1";
+  ignore (World.settle w);
+  Kernel.write_file k3 p3 "/data" "v2 from site 3";
+  ignore (World.settle w);
+  check string_ "site 1 sees v2" "v2 from site 3"
+    (Kernel.read_file (World.kernel w 1) (World.proc w 1) "/data");
+  check string_ "site 0 sees v2" "v2 from site 3"
+    (Kernel.read_file k0 p0 "/data")
+
+(* Propagation brings every pack a copy; after settle all copies carry the
+   same version vector. *)
+let test_replication_converges () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Locus_core.Kernel.set_ncopies p0 5;
+  ignore (Kernel.creat k0 p0 "/repl");
+  Kernel.write_file k0 p0 "/repl" (String.make 3000 'x');
+  ignore (World.settle w);
+  let vvs =
+    List.filter_map
+      (fun site ->
+        let k = World.kernel w site in
+        match Hashtbl.find_opt k.K.packs 0 with
+        | Some pack -> (
+          let gf =
+            Locus_core.Pathname.resolve_from k
+              ~cwd:(Catalog.Mount.root k.K.mount) ~context:[] "/repl"
+          in
+          match Storage.Pack.find_inode pack gf.Catalog.Gfile.ino with
+          | Some inode -> Some inode.Storage.Inode.vv
+          | None -> None)
+        | None -> None)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  check int_ "all five packs hold a copy" 5 (List.length vvs);
+  let first = List.hd vvs in
+  List.iter (fun vv -> check bool_ "vv equal" true (Vvec.equal first vv)) vvs
+
+(* Divergent updates to a regular file in two partitions are detected as a
+   conflict on merge; the owner is notified and access fails. *)
+let test_partition_conflict () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Locus_core.Kernel.set_ncopies p0 5;
+  ignore (Kernel.creat k0 p0 "/mail");
+  ignore (Kernel.creat k0 p0 "/shared.dat");
+  Kernel.write_file k0 p0 "/shared.dat" "base";
+  ignore (World.settle w);
+  (* Partition {0,1} vs {2,3,4}; update on both sides. *)
+  let reports = World.partition w [ [ 0; 1 ]; [ 2; 3; 4 ] ] in
+  Alcotest.(check int) "two partition reports" 2 (List.length reports);
+  Kernel.write_file k0 p0 "/shared.dat" "left version";
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  Kernel.write_file k2 p2 "/shared.dat" "right version";
+  ignore (World.settle w);
+  let _merge, recon = World.heal_and_merge w in
+  let total_conflicts =
+    List.fold_left
+      (fun acc (_, r) -> acc + r.Recovery.Reconcile.conflicts_marked)
+      0 recon
+  in
+  check int_ "one conflict detected" 1 total_conflicts;
+  (match Kernel.read_file k0 p0 "/shared.dat" with
+  | _ -> Alcotest.fail "conflicted file should refuse normal access"
+  | exception K.Error (Proto.Econflict, _) -> ());
+  (* Interactive resolution: keep site 2's version. *)
+  let gf =
+    Locus_core.Pathname.resolve_from k0 ~cwd:(Catalog.Mount.root k0.K.mount)
+      ~context:[] "/shared.dat"
+  in
+  let css = World.kernel w 0 in
+  check bool_ "manual resolve succeeds" true
+    (Recovery.Reconcile.resolve_manual css gf ~winner:2);
+  ignore (World.settle w);
+  check string_ "winner version visible" "right version"
+    (Kernel.read_file k0 p0 "/shared.dat")
+
+(* Directory updates in different partitions merge automatically: both new
+   files are visible afterwards. *)
+let test_directory_merge () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Locus_core.Kernel.set_ncopies p0 5;
+  ignore (Kernel.mkdir k0 p0 "/proj");
+  ignore (World.settle w);
+  ignore (World.partition w [ [ 0; 1 ]; [ 2; 3; 4 ] ]);
+  ignore (Kernel.creat k0 p0 "/proj/left.txt");
+  Kernel.write_file k0 p0 "/proj/left.txt" "L";
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  ignore (Kernel.creat k2 p2 "/proj/right.txt");
+  Kernel.write_file k2 p2 "/proj/right.txt" "R";
+  ignore (World.settle w);
+  let _merge, recon = World.heal_and_merge w in
+  let dir_merges =
+    List.fold_left
+      (fun acc (_, r) -> acc + r.Recovery.Reconcile.dir_merges)
+      0 recon
+  in
+  check bool_ "at least one directory merge" true (dir_merges >= 1);
+  let p4 = World.proc w 4 and k4 = World.kernel w 4 in
+  check string_ "left file visible at site 4" "L"
+    (Kernel.read_file k4 p4 "/proj/left.txt");
+  check string_ "right file visible at site 4" "R"
+    (Kernel.read_file k4 p4 "/proj/right.txt")
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cluster",
+        [
+          Alcotest.test_case "transparent read/write" `Quick test_transparent_rw;
+          Alcotest.test_case "remote update visibility" `Quick test_remote_update;
+          Alcotest.test_case "replication converges" `Quick test_replication_converges;
+          Alcotest.test_case "partition conflict detection" `Quick test_partition_conflict;
+          Alcotest.test_case "directory merge" `Quick test_directory_merge;
+        ] );
+    ]

@@ -1,0 +1,256 @@
+(* Remote process tests (section 3): fork/exec/run across sites, shared
+   file descriptors with offset tokens, signals, exit status, and error
+   reflection when a machine fails. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Process = Locus_core.Process
+module K = Locus_core.Ktypes
+module Stats = Sim.Stats
+
+let check = Alcotest.check
+
+let make_world ?(machine_type = fun _ -> "vax") () =
+  let base = World.default_config ~n_sites:4 () in
+  World.create ~config:{ base with World.machine_type } ()
+
+let with_program w path body =
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 path);
+  Kernel.write_file k0 p0 path body;
+  ignore (World.settle w)
+
+(* ---- fork ---- *)
+
+let test_local_fork () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let pid, site = Process.fork k0 p0 in
+  check Alcotest.int "child at local site" 0 site;
+  let child = Process.get_proc k0 pid in
+  check Alcotest.string "uid inherited" p0.K.p_uid child.K.p_uid;
+  check Alcotest.bool "parent knows child" true (List.mem_assoc pid p0.K.p_children)
+
+let test_remote_fork () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 2);
+  let pid, site = Process.fork k0 p0 in
+  check Alcotest.int "child at advised site" 2 site;
+  let k2 = World.kernel w 2 in
+  let child = Process.get_proc k2 pid in
+  check Alcotest.string "environment initialized" "root" child.K.p_uid;
+  check Alcotest.bool "parent recorded" true (child.K.p_parent = Some (p0.K.pid, 0))
+
+let test_remote_fork_ships_image () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  p0.K.p_image_pages <- 64;
+  let snap = Stats.snapshot (World.stats w) in
+  Kernel.set_advice p0 (Some 1);
+  ignore (Process.fork k0 p0);
+  let bytes = Stats.delta_of (World.stats w) snap "net.bytes" in
+  check Alcotest.bool "fork shipped the 64-page image" true (bytes > 64 * 1024)
+
+(* ---- exec / run ---- *)
+
+let test_exec_local_reads_load_module () =
+  let w = make_world () in
+  with_program w "/prog" (String.make 2500 'p');
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Process.exec_local k0 p0 "/prog";
+  check Alcotest.int "image sized from load module" 3 p0.K.p_image_pages
+
+let test_run_remote () =
+  let w = make_world () in
+  with_program w "/prog" "binary bits";
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 3);
+  let pid, site = Process.run k0 p0 "/prog" in
+  check Alcotest.int "runs at advised site" 3 site;
+  let child = Process.get_proc (World.kernel w 3) pid in
+  check Alcotest.bool "child running" true (child.K.p_status = K.Running);
+  check Alcotest.bool "parent recorded child" true (List.mem_assoc pid p0.K.p_children)
+
+(* Run avoids copying the parent image: cheaper on the wire than fork of a
+   big parent (section 3.1). *)
+let test_run_avoids_image_copy () =
+  let w = make_world () in
+  with_program w "/prog" "tiny";
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  p0.K.p_image_pages <- 128;
+  Kernel.set_advice p0 (Some 1);
+  let snap = Stats.snapshot (World.stats w) in
+  ignore (Process.run k0 p0 "/prog");
+  let run_bytes = Stats.delta_of (World.stats w) snap "net.bytes" in
+  let snap2 = Stats.snapshot (World.stats w) in
+  ignore (Process.fork k0 p0);
+  let fork_bytes = Stats.delta_of (World.stats w) snap2 "net.bytes" in
+  check Alcotest.bool "run much cheaper than fork" true (run_bytes * 4 < fork_bytes)
+
+(* Heterogeneous cpus: run at a pdp11 site picks the pdp11 load module
+   through the hidden directory, transparently (sections 2.4.1, 3.1). *)
+let test_run_heterogeneous_load_module () =
+  let w = make_world ~machine_type:(fun s -> if s = 3 then "pdp11" else "vax") () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/bin");
+  ignore (Kernel.mkdir ~hidden:true k0 p0 "/bin/who");
+  ignore (Kernel.creat k0 p0 "/bin/who/@vax");
+  Kernel.write_file k0 p0 "/bin/who/@vax" (String.make 1100 'v');
+  ignore (Kernel.creat k0 p0 "/bin/who/@pdp11");
+  Kernel.write_file k0 p0 "/bin/who/@pdp11" "p";
+  ignore (World.settle w);
+  Kernel.set_advice p0 (Some 3);
+  let pid, site = Process.run k0 p0 "/bin/who" in
+  check Alcotest.int "at pdp11 site" 3 site;
+  let child = Process.get_proc (World.kernel w 3) pid in
+  check Alcotest.int "pdp11 module loaded" 1 child.K.p_image_pages;
+  check Alcotest.(list string) "context follows machine" [ "pdp11" ]
+    child.K.p_context
+
+let test_run_environment_parameterization () =
+  let w = make_world () in
+  with_program w "/prog" "bits";
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 2);
+  let pid, site =
+    Process.run ~uid:"builder" ~ncopies:4 ~context:[ "cross" ] k0 p0 "/prog"
+  in
+  let child = Process.get_proc (World.kernel w site) pid in
+  check Alcotest.string "uid set up" "builder" child.K.p_uid;
+  check Alcotest.int "ncopies set up" 4 child.K.p_ncopies;
+  check Alcotest.(list string) "context override" [ "cross" ] child.K.p_context
+
+(* ---- shared descriptors and the offset token ---- *)
+
+let test_shared_fd_offset_token () =
+  let w = make_world () in
+  with_program w "/data" "0123456789abcdef";
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let fd = Kernel.open_path k0 p0 "/data" Proto.Mode_read in
+  check Alcotest.string "parent reads 4" "0123" (Kernel.read_fd k0 p0 fd ~len:4);
+  Kernel.set_advice p0 (Some 2);
+  let pid, _ = Process.fork k0 p0 in
+  let k2 = World.kernel w 2 in
+  let child = Process.get_proc k2 pid in
+  (* The child's read continues where the parent stopped: the token moves
+     the offset across machines. *)
+  check Alcotest.string "child continues at offset 4" "4567"
+    (Kernel.read_fd k2 child fd ~len:4);
+  check Alcotest.string "parent continues at offset 8" "89ab"
+    (Kernel.read_fd k0 p0 fd ~len:4);
+  check Alcotest.bool "tokens flipped" true
+    (Stats.get (World.stats w) "token.flip" >= 2)
+
+let test_shared_fd_write_interleave () =
+  let w = make_world () in
+  with_program w "/log" "";
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let fd = Kernel.open_path k0 p0 "/log" Proto.Mode_modify in
+  Kernel.write_fd k0 p0 fd "one ";
+  Kernel.set_advice p0 (Some 1);
+  let pid, _ = Process.fork k0 p0 in
+  let k1 = World.kernel w 1 in
+  let child = Process.get_proc k1 pid in
+  Kernel.write_fd k1 child fd "two ";
+  Kernel.write_fd k0 p0 fd "three";
+  Kernel.commit_fd k0 p0 fd;
+  Kernel.close_fd k0 p0 fd;
+  Kernel.close_fd k1 child fd;
+  ignore (World.settle w);
+  check Alcotest.string "interleaved writes in order" "one two three"
+    (Kernel.read_file k0 p0 "/log")
+
+(* ---- signals ---- *)
+
+let test_cross_site_signal () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 2);
+  let pid, site = Process.fork k0 p0 in
+  Process.signal k0 ~site ~pid 15;
+  let child = Process.get_proc (World.kernel w 2) pid in
+  check Alcotest.(list int) "signal delivered" [ 15 ] child.K.p_signals;
+  match Process.signal k0 ~site:2 ~pid:999999 9 with
+  | () -> Alcotest.fail "expected ESRCH"
+  | exception K.Error (Proto.Esrch, _) -> ()
+
+let test_exit_and_wait () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 3);
+  let pid, _site = Process.fork k0 p0 in
+  let k3 = World.kernel w 3 in
+  let child = Process.get_proc k3 pid in
+  Process.exit_proc k3 child 42;
+  ignore (World.settle w);
+  (match Process.wait k0 p0 with
+  | Some (wpid, status) ->
+    check Alcotest.int "pid" pid wpid;
+    check Alcotest.int "status" 42 status
+  | None -> Alcotest.fail "expected zombie");
+  check Alcotest.bool "sigchld" true (List.mem Process.sigchld p0.K.p_signals)
+
+(* ---- error reflection on machine failure (section 3.3) ---- *)
+
+let test_child_site_failure_reflected () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 2);
+  let pid, _ = Process.fork k0 p0 in
+  World.crash_site w 2;
+  ignore (World.detect_failures w ~initiator:0);
+  check Alcotest.bool "error signal" true (List.mem Process.sigerr p0.K.p_signals);
+  (match Process.read_error_info (World.kernel w 0) p0 with
+  | Some info ->
+    check Alcotest.bool "error info mentions child" true (String.length info > 0)
+  | None -> Alcotest.fail "expected error info");
+  check Alcotest.bool "child removed" false (List.mem_assoc pid p0.K.p_children)
+
+let test_parent_site_failure_reflected () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_advice p0 (Some 2);
+  let pid, _ = Process.fork k0 p0 in
+  World.crash_site w 0;
+  ignore (World.detect_failures w ~initiator:2);
+  let child = Process.get_proc (World.kernel w 2) pid in
+  check Alcotest.bool "child notified" true (List.mem Process.sigerr child.K.p_signals);
+  check Alcotest.bool "parent link severed" true (child.K.p_parent = None)
+
+let () =
+  Alcotest.run "process"
+    [
+      ( "fork",
+        [
+          Alcotest.test_case "local" `Quick test_local_fork;
+          Alcotest.test_case "remote" `Quick test_remote_fork;
+          Alcotest.test_case "image shipped" `Quick test_remote_fork_ships_image;
+        ] );
+      ( "exec-run",
+        [
+          Alcotest.test_case "exec reads load module" `Quick
+            test_exec_local_reads_load_module;
+          Alcotest.test_case "run remote" `Quick test_run_remote;
+          Alcotest.test_case "run avoids image copy" `Quick test_run_avoids_image_copy;
+          Alcotest.test_case "heterogeneous load module" `Quick
+            test_run_heterogeneous_load_module;
+          Alcotest.test_case "run env parameterization" `Quick
+            test_run_environment_parameterization;
+        ] );
+      ( "shared-fds",
+        [
+          Alcotest.test_case "offset token" `Quick test_shared_fd_offset_token;
+          Alcotest.test_case "write interleave" `Quick test_shared_fd_write_interleave;
+        ] );
+      ( "signals-exit",
+        [
+          Alcotest.test_case "cross-site signal" `Quick test_cross_site_signal;
+          Alcotest.test_case "exit and wait" `Quick test_exit_and_wait;
+        ] );
+      ( "failure-reflection",
+        [
+          Alcotest.test_case "child site fails" `Quick test_child_site_failure_reflected;
+          Alcotest.test_case "parent site fails" `Quick test_parent_site_failure_reflected;
+        ] );
+    ]

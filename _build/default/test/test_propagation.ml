@@ -1,0 +1,121 @@
+(* Unit tests of background update propagation (section 2.3.6). *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Propagation = Locus_core.Propagation
+module Us = Locus_core.Us
+module K = Locus_core.Ktypes
+module Pack = Storage.Pack
+module Inode = Storage.Inode
+module Vvec = Vv.Version_vector
+
+let check = Alcotest.check
+
+let make_world ?(n = 4) () = World.create ~config:(World.default_config ~n_sites:n ()) ()
+
+let test_one_commit_behind () =
+  let base = Vvec.of_list [ (0, 2); (1, 1) ] in
+  let next = Vvec.bump base 1 in
+  check Alcotest.bool "direct successor" true
+    (Propagation.one_commit_behind ~local:base ~target:next ~origin:1);
+  check Alcotest.bool "wrong origin" false
+    (Propagation.one_commit_behind ~local:base ~target:next ~origin:0);
+  check Alcotest.bool "two commits behind" false
+    (Propagation.one_commit_behind ~local:base ~target:(Vvec.bump next 1) ~origin:1)
+
+let test_incremental_pull_transfers_only_modified () =
+  (* A small change to a large file: the pull moves one page, not all. *)
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/large");
+  Kernel.write_file k0 p0 "/large" (String.make (8 * Storage.Page.size) 'L');
+  ignore (World.settle w);
+  (* Patch one page in place. *)
+  let gf = Kernel.resolve k0 p0 "/large" in
+  let o = Us.open_gf k0 gf Proto.Mode_modify in
+  Us.write k0 o ~off:(3 * Storage.Page.size) (String.make 10 'Z');
+  Us.commit k0 o;
+  Us.close k0 o;
+  let snap = Sim.Stats.snapshot (World.stats w) in
+  ignore (World.settle w);
+  let read_msgs = Sim.Stats.delta_of (World.stats w) snap "net.msg.read" in
+  (* The secondary copy pulled just the modified page: 2 messages, not 16. *)
+  check Alcotest.int "single page pulled" 2 read_msgs;
+  let k1 = World.kernel w 1 and p1 = World.proc w 1 in
+  let body = Kernel.read_file k1 p1 "/large" in
+  check Alcotest.string "patched bytes present" (String.make 10 'Z')
+    (String.sub body (3 * Storage.Page.size) 10)
+
+let test_pull_refuses_concurrent_overwrite () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/c");
+  Kernel.write_file k0 p0 "/c" "base";
+  ignore (World.settle w);
+  (* Forge a concurrent local version at site 1, then ask it to pull. *)
+  let k1 = World.kernel w 1 in
+  let gf = Kernel.resolve k0 p0 "/c" in
+  let pack1 = Hashtbl.find k1.K.packs 0 in
+  let inode1 = Pack.get_inode pack1 gf.Catalog.Gfile.ino in
+  inode1.Inode.vv <- Vvec.bump inode1.Inode.vv 1;
+  Kernel.write_file k0 p0 "/c" "newer at 0";
+  ignore (World.settle w);
+  (* Site 1's copy still carries its concurrent version: not clobbered. *)
+  let inode1' = Pack.get_inode pack1 gf.Catalog.Gfile.ino in
+  check Alcotest.bool "concurrent copy preserved" true
+    (Vvec.get inode1'.Inode.vv 1 > 0)
+
+let test_enqueue_skips_uninterested_sites () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 1;
+  ignore (Kernel.creat k0 p0 "/solo");
+  Kernel.write_file k0 p0 "/solo" "one copy";
+  ignore (World.settle w);
+  let gf = Kernel.resolve k0 p0 "/solo" in
+  (* A non-designated notification at a site without a copy is ignored. *)
+  let k2 = World.kernel w 2 in
+  Propagation.enqueue k2 gf ~vv:(Vvec.of_list [ (0, 9) ]) ~modified:[] ~designate:false;
+  check Alcotest.int "not queued" 0 (Queue.length k2.K.prop_queue);
+  (* A designated one is honoured. *)
+  Propagation.enqueue k2 gf ~vv:(Vvec.of_list [ (0, 9) ]) ~modified:[] ~designate:true;
+  check Alcotest.int "queued when designated" 1 (Queue.length k2.K.prop_queue);
+  Queue.clear k2.K.prop_queue;
+  k2.K.prop_pending <- Catalog.Gfile.Set.empty
+
+let test_retries_give_up_cleanly () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/r");
+  Kernel.write_file k0 p0 "/r" "v1";
+  ignore (World.settle w);
+  (* Cut site 1 off, then commit at 0: site 1's pull can never reach a
+     source. The queue must drain (bounded retries), not spin forever. *)
+  ignore (World.partition w [ [ 0; 2; 3 ]; [ 1 ] ]);
+  Kernel.write_file k0 p0 "/r" "v2";
+  ignore (World.settle w);
+  let k1 = World.kernel w 1 in
+  check Alcotest.int "queue drained" 0 (Queue.length k1.K.prop_queue);
+  (* Reconciliation at merge repairs the stale copy. *)
+  ignore (World.heal_and_merge w);
+  let p1 = World.proc w 1 in
+  check Alcotest.string "caught up after merge" "v2" (Kernel.read_file k1 p1 "/r")
+
+let () =
+  Alcotest.run "propagation"
+    [
+      ( "pull",
+        [
+          Alcotest.test_case "one_commit_behind" `Quick test_one_commit_behind;
+          Alcotest.test_case "incremental pull" `Quick
+            test_incremental_pull_transfers_only_modified;
+          Alcotest.test_case "concurrent not overwritten" `Quick
+            test_pull_refuses_concurrent_overwrite;
+          Alcotest.test_case "designate semantics" `Quick
+            test_enqueue_skips_uninterested_sites;
+          Alcotest.test_case "bounded retries" `Quick test_retries_give_up_cleanly;
+        ] );
+    ]

@@ -1,0 +1,468 @@
+(* Property-based tests on system invariants (qcheck, run under alcotest).
+
+   - directory codec: decode . encode = id for arbitrary directories
+   - mailbox merge: a CRDT (commutative, associative, idempotent) that
+     loses no message and honours deletions
+   - shadow paging: arbitrary modification sequences are all-or-nothing
+     under commit / abort / crash, and leak no disk pages
+   - partition protocol: for arbitrary physical topologies the agreed
+     membership is fully connected and unanimous
+   - end-to-end: after random divergent updates and a merge, all copies of
+     every file converge to identical version vectors and contents (or the
+     file is explicitly marked in conflict). *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module K = Locus_core.Ktypes
+module Dir = Catalog.Dir
+module Mbox = Catalog.Mailbox
+module Page = Storage.Page
+module Pack = Storage.Pack
+module Shadow = Storage.Shadow
+module Disk = Storage.Disk
+module Inode = Storage.Inode
+module Vvec = Vv.Version_vector
+module Topology = Net.Topology
+
+(* ---- generators ---- *)
+
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun (c, n) -> Printf.sprintf "%c%d" c n)
+      (pair (char_range 'a' 'f') (int_bound 20)))
+
+let gen_dir =
+  QCheck.Gen.(
+    list_size (int_bound 15) (triple gen_name (int_range 2 50) bool)
+    >|= fun entries ->
+    let d = Dir.empty () in
+    List.iteri
+      (fun i (name, ino, dead) ->
+        Dir.insert d ~name ~ino ~stamp:(float_of_int i) ~origin:(i mod 3);
+        if dead then
+          ignore (Dir.remove d ~name ~stamp:(float_of_int i +. 0.5) ~origin:(i mod 3)))
+      entries;
+    d)
+
+let arb_dir = QCheck.make ~print:Dir.encode gen_dir
+
+let gen_mbox_ops =
+  QCheck.Gen.(list_size (int_bound 12) (pair (int_bound 30) bool))
+
+let apply_mbox_ops site base ops =
+  let m = Mbox.decode (Mbox.encode base) in
+  List.iteri
+    (fun i (n, del) ->
+      let id = Printf.sprintf "%d.%d" site n in
+      if del && Mbox.mem m id then ignore (Mbox.delete m ~id ~stamp:(float_of_int i))
+      else if not del then
+        Mbox.insert m ~id ~stamp:(float_of_int i) ~from:"prop" ~body:"b")
+    ops;
+  m
+
+(* ---- directory codec ---- *)
+
+let prop_dir_codec =
+  QCheck.Test.make ~name:"dir codec roundtrip" ~count:200 arb_dir (fun d ->
+      Dir.equal d (Dir.decode (Dir.encode d)))
+
+(* ---- mailbox merge laws ---- *)
+
+let arb_two_mboxes =
+  QCheck.make
+    QCheck.Gen.(
+      pair gen_mbox_ops gen_mbox_ops
+      >|= fun (ops_a, ops_b) ->
+      let base = Mbox.empty () in
+      Mbox.insert base ~id:"9.0" ~stamp:0.0 ~from:"base" ~body:"shared";
+      (apply_mbox_ops 1 base ops_a, apply_mbox_ops 2 base ops_b))
+
+let prop_mbox_merge_commutative =
+  QCheck.Test.make ~name:"mailbox merge commutative" ~count:200 arb_two_mboxes
+    (fun (a, b) -> Mbox.equal (Mbox.merge a b) (Mbox.merge b a))
+
+let prop_mbox_merge_idempotent =
+  QCheck.Test.make ~name:"mailbox merge idempotent" ~count:200 arb_two_mboxes
+    (fun (a, b) ->
+      let m = Mbox.merge a b in
+      Mbox.equal (Mbox.merge m m) m)
+
+let prop_mbox_merge_no_loss =
+  QCheck.Test.make ~name:"mailbox merge loses nothing" ~count:200 arb_two_mboxes
+    (fun (a, b) ->
+      let m = Mbox.merge a b in
+      List.for_all
+        (fun (msg : Mbox.msg) ->
+          (* Every live message survives unless the other copy deleted it. *)
+          Mbox.mem m msg.Mbox.id
+          || List.exists
+               (fun (other : Mbox.msg) ->
+                 other.Mbox.id = msg.Mbox.id && other.Mbox.deleted)
+               (Mbox.all a @ Mbox.all b))
+        (Mbox.live a @ Mbox.live b))
+
+(* ---- shadow paging all-or-nothing ---- *)
+
+type shadow_op =
+  | Write_whole of int * char
+  | Patch of int * int * string
+  | Trunc of int
+
+let gen_shadow_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun p c -> Write_whole (p, c)) (int_bound 11) (char_range 'a' 'z');
+        map3 (fun p off c -> Patch (p, off, String.make 3 c))
+          (int_bound 11)
+          (int_bound (Page.size - 4))
+          (char_range 'A' 'Z');
+        map (fun n -> Trunc (n * 100)) (int_bound 50);
+      ])
+
+let arb_shadow_scenario =
+  QCheck.make
+    ~print:(fun (ops, fate) ->
+      Printf.sprintf "%d ops, fate %d" (List.length ops) fate)
+    QCheck.Gen.(pair (list_size (int_range 1 10) gen_shadow_op) (int_bound 2))
+
+(* A pure model of the file body alongside the shadow session. *)
+let apply_model body = function
+  | Write_whole (p, c) ->
+    let upto = (p + 1) * Page.size in
+    let body = if String.length body < upto then body ^ String.make (upto - String.length body) '\000' else body in
+    String.mapi (fun i ch -> if i >= p * Page.size && i < upto then c else ch) body
+  | Patch (p, off, data) ->
+    let pos = (p * Page.size) + off in
+    let upto = pos + String.length data in
+    let body = if String.length body < upto then body ^ String.make (upto - String.length body) '\000' else body in
+    String.mapi
+      (fun i ch -> if i >= pos && i < upto then data.[i - pos] else ch)
+      body
+  | Trunc n -> if n < String.length body then String.sub body 0 n else body
+
+let apply_session session = function
+  | Write_whole (p, c) -> Shadow.write_page session ~lpage:p (Page.of_string (String.make Page.size c))
+  | Patch (p, off, data) -> Shadow.patch_page session ~lpage:p ~off data
+  | Trunc n -> Shadow.truncate session n
+
+let prop_shadow_all_or_nothing =
+  QCheck.Test.make ~name:"shadow commit all-or-nothing" ~count:150
+    arb_shadow_scenario (fun (ops, fate) ->
+      let pack = Pack.create ~fg:0 ~pack_id:0 ~ino_lo:2 ~ino_hi:100 () in
+      let inode = Inode.create ~ino:2 ~ftype:Inode.Regular ~owner:"p" in
+      Pack.install_inode pack inode;
+      let original = "the original contents survive aborts and crashes" in
+      let s0 = Shadow.begin_modify pack 2 in
+      Shadow.set_contents s0 original;
+      Shadow.commit s0 ~vv:(Vvec.bump Vvec.zero 0) ~mtime:1.0;
+      let used_before = Disk.used (Pack.disk pack) in
+      let session = Shadow.begin_modify pack 2 in
+      let model = List.fold_left apply_model original ops in
+      List.iter (apply_session session) ops;
+      let read_back () = Pack.read_string pack (Pack.get_inode pack 2) in
+      match fate with
+      | 0 ->
+        Shadow.commit session ~vv:(Vvec.bump (Vvec.bump Vvec.zero 0) 0) ~mtime:2.0;
+        String.equal (read_back ()) model
+      | 1 ->
+        Shadow.abort session;
+        String.equal (read_back ()) original
+        && Disk.used (Pack.disk pack) = used_before
+      | _ ->
+        Shadow.crash_before_switch session;
+        let intact = String.equal (read_back ()) original in
+        ignore (Pack.scavenge pack);
+        intact
+        && String.equal (read_back ()) original
+        && Disk.used (Pack.disk pack) = used_before)
+
+(* ---- partition protocol on arbitrary topologies ---- *)
+
+let arb_link_failures =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) l))
+    QCheck.Gen.(list_size (int_bound 10) (pair (int_bound 5) (int_bound 5)))
+
+let prop_partition_fully_connected =
+  QCheck.Test.make ~name:"partition protocol finds fully-connected set"
+    ~count:60 arb_link_failures (fun failures ->
+      let w = World.create ~config:(World.default_config ~n_sites:6 ()) () in
+      let topo = World.topology w in
+      List.iter (fun (a, b) -> if a <> b then Topology.set_link topo a b false) failures;
+      let r = Recovery.Partition.run_active (World.kernel w 0) in
+      let members = r.Recovery.Partition.members in
+      List.mem 0 members
+      && Topology.fully_connected topo members
+      && List.for_all
+           (fun m -> (World.kernel w m).K.site_table = members)
+           members)
+
+(* ---- end-to-end convergence after partition and merge ---- *)
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map (fun (s, f, c) -> Printf.sprintf "s%d f%d %c" s f c) ops))
+    QCheck.Gen.(
+      list_size (int_range 1 8)
+        (triple (int_bound 3) (int_bound 2) (char_range 'a' 'z')))
+
+let files = [ "/f0"; "/f1"; "/f2" ]
+
+let prop_convergence_after_merge =
+  QCheck.Test.make ~name:"copies converge after merge" ~count:40 arb_scenario
+    (fun ops ->
+      let w = World.create ~config:(World.default_config ~n_sites:4 ()) () in
+      let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+      Kernel.set_ncopies p0 4;
+      List.iter (fun f -> ignore (Kernel.creat k0 p0 f)) files;
+      ignore (World.settle w);
+      ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
+      List.iter
+        (fun (site, file_idx, c) ->
+          let k = World.kernel w site and p = World.proc w site in
+          try Kernel.write_file k p (List.nth files file_idx) (String.make 20 c)
+          with K.Error _ -> ())
+        ops;
+      ignore (World.settle w);
+      ignore (World.heal_and_merge w);
+      ignore (World.settle w);
+      (* Every pack's copy of every file must agree on the version vector,
+         and contents must agree unless the file is marked in conflict. *)
+      List.for_all
+        (fun file ->
+          let gf =
+            Locus_core.Pathname.resolve_from k0
+              ~cwd:(Catalog.Mount.root k0.K.mount) ~context:[] file
+          in
+          let copies =
+            List.filter_map
+              (fun s ->
+                let k = World.kernel w s in
+                match Hashtbl.find_opt k.K.packs 0 with
+                | Some pack -> (
+                  match Pack.find_inode pack gf.Catalog.Gfile.ino with
+                  | Some inode -> Some (inode.Inode.vv, Pack.read_string pack inode)
+                  | None -> None)
+                | None -> None)
+              [ 0; 1; 2; 3 ]
+          in
+          let conflicted =
+            match Locus_core.Css.find_file k0 0 gf.Catalog.Gfile.ino with
+            | Some f -> f.K.css_conflict
+            | None -> false
+          in
+          conflicted
+          || match copies with
+             | [] -> false
+             | (vv0, body0) :: rest ->
+               List.for_all
+                 (fun (vv, body) -> Vvec.equal vv vv0 && String.equal body body0)
+                 rest)
+        files)
+
+(* ---- model-based filesystem check ----
+
+   Within one partition, the distributed filesystem must be observationally
+   equivalent to a trivial map from names to contents, no matter which site
+   issues each operation ("the latest version is the only one visible"). *)
+
+type fs_op =
+  | Op_write of int * int * char (* site, file index, fill byte *)
+  | Op_append of int * int * char
+  | Op_unlink of int * int
+  | Op_read of int * int
+
+let gen_fs_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun s f c -> Op_write (s, f, c)) (int_bound 3) (int_bound 4)
+          (char_range 'a' 'z');
+        map3 (fun s f c -> Op_append (s, f, c)) (int_bound 3) (int_bound 4)
+          (char_range 'a' 'z');
+        map2 (fun s f -> Op_unlink (s, f)) (int_bound 3) (int_bound 4);
+        map2 (fun s f -> Op_read (s, f)) (int_bound 3) (int_bound 4);
+      ])
+
+let arb_fs_ops =
+  QCheck.make
+    ~print:(fun ops -> Printf.sprintf "%d ops" (List.length ops))
+    QCheck.Gen.(list_size (int_range 1 25) gen_fs_op)
+
+let prop_fs_matches_model =
+  QCheck.Test.make ~name:"filesystem matches a map model" ~count:60 arb_fs_ops
+    (fun ops ->
+      let w = World.create ~config:(World.default_config ~n_sites:4 ()) () in
+      let p0 = World.proc w 0 in
+      Kernel.set_ncopies p0 2;
+      let model : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      let name f = Printf.sprintf "/m%d" f in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          let run site f g =
+            let k = World.kernel w site and p = World.proc w site in
+            g k p (name f)
+          in
+          (match op with
+          | Op_write (site, f, c) ->
+            run site f (fun k p path ->
+                let body = String.make 12 c in
+                (try
+                   (match Hashtbl.find_opt model path with
+                   | None -> ignore (Kernel.creat k p path)
+                   | Some _ -> ());
+                   Kernel.write_file k p path body;
+                   Hashtbl.replace model path body
+                 with K.Error _ -> ok := false))
+          | Op_append (site, f, c) ->
+            run site f (fun k p path ->
+                match Hashtbl.find_opt model path with
+                | Some old -> (
+                  try
+                    Kernel.append_file k p path (String.make 3 c);
+                    Hashtbl.replace model path (old ^ String.make 3 c)
+                  with K.Error _ -> ok := false)
+                | None -> (
+                  (* Appending to a missing file must fail identically. *)
+                  match Kernel.append_file k p path "x" with
+                  | () -> ok := false
+                  | exception K.Error _ -> ()))
+          | Op_unlink (site, f) ->
+            run site f (fun k p path ->
+                match Hashtbl.find_opt model path with
+                | Some _ -> (
+                  try
+                    Kernel.unlink k p path;
+                    Hashtbl.remove model path
+                  with K.Error _ -> ok := false)
+                | None -> (
+                  match Kernel.unlink k p path with
+                  | () -> ok := false
+                  | exception K.Error _ -> ()))
+          | Op_read (site, f) ->
+            run site f (fun k p path ->
+                match (Hashtbl.find_opt model path, Kernel.read_file k p path) with
+                | Some expected, actual -> if not (String.equal expected actual) then ok := false
+                | None, _ -> ok := false
+                | exception K.Error (Proto.Enoent, _) ->
+                  if Hashtbl.mem model path then ok := false
+                | exception K.Error _ -> ok := false));
+          ignore (World.settle w))
+        ops;
+      (* Final check: every model file readable with model contents from
+         every site. *)
+      Hashtbl.iter
+        (fun path body ->
+          List.iter
+            (fun s ->
+              match Kernel.read_file (World.kernel w s) (World.proc w s) path with
+              | actual -> if not (String.equal actual body) then ok := false
+              | exception K.Error _ -> ok := false)
+            [ 0; 1; 2; 3 ])
+        model;
+      !ok)
+
+(* ---- committed data survives crashes at random points ---- *)
+
+let arb_crash_plan =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 6) (int_bound 9))
+
+let prop_commits_survive_crashes =
+  QCheck.Test.make ~name:"committed data survives crashes" ~count:40
+    arb_crash_plan (fun plan ->
+      let w = World.create ~config:(World.default_config ~n_sites:3 ()) () in
+      let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+      Kernel.set_ncopies p0 2;
+      ignore (Kernel.creat k0 p0 "/d");
+      Kernel.write_file k0 p0 "/d" "committed-0";
+      ignore (World.settle w);
+      let committed = ref "committed-0" in
+      let ok = ref true in
+      List.iteri
+        (fun i step ->
+          (* Write a new version, then crash the victim site either before
+             or after the commit, depending on the plan. *)
+          let body = Printf.sprintf "committed-%d" (i + 1) in
+          let victim = 1 + (step mod 2) in
+          if step < 5 then begin
+            (* Crash before any new commit: the old version must survive. *)
+            World.crash_site w victim;
+            World.restart_site w victim;
+            ignore (World.heal_and_merge w)
+          end
+          else begin
+            (try
+               Kernel.write_file k0 p0 "/d" body;
+               committed := body
+             with K.Error _ -> ());
+            ignore (World.settle w);
+            World.crash_site w victim;
+            World.restart_site w victim;
+            ignore (World.heal_and_merge w)
+          end;
+          match Kernel.read_file k0 p0 "/d" with
+          | actual -> if not (String.equal actual !committed) then ok := false
+          | exception K.Error _ -> ok := false)
+        plan;
+      !ok)
+
+(* ---- convergence despite message loss ---- *)
+
+let prop_convergence_despite_message_loss =
+  QCheck.Test.make ~name:"recovery compensates for lost notifications" ~count:25
+    (QCheck.make QCheck.Gen.(pair (int_bound 1000) (int_range 1 6)))
+    (fun (seed, writes) ->
+      let w = World.create ~config:(World.default_config ~n_sites:4 ()) () in
+      let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+      Kernel.set_ncopies p0 4;
+      ignore (Kernel.creat k0 p0 "/lossy");
+      Kernel.write_file k0 p0 "/lossy" "v0";
+      ignore (World.settle w);
+      (* One-way notifications (commit notify, propagation) now get lost
+         sometimes; synchronous calls that fail surface as ENET and are
+         tolerated. *)
+      Net.Netsim.set_drop_probability (World.net w) 0.3;
+      ignore seed;
+      let last_committed = ref "v0" in
+      for i = 1 to writes do
+        let body = Printf.sprintf "v%d" i in
+        match Kernel.write_file k0 p0 "/lossy" body with
+        | () -> last_committed := body
+        | exception K.Error _ -> ()
+      done;
+      ignore (World.settle w);
+      (* Heal: recovery reconciles whatever the lost messages broke. *)
+      Net.Netsim.set_drop_probability (World.net w) 0.0;
+      ignore (World.heal_and_merge w);
+      ignore (World.settle w);
+      List.for_all
+        (fun s ->
+          match Kernel.read_file (World.kernel w s) (World.proc w s) "/lossy" with
+          | body -> String.equal body !last_committed
+          | exception K.Error _ -> false)
+        (World.sites w))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_dir_codec;
+      prop_mbox_merge_commutative;
+      prop_mbox_merge_idempotent;
+      prop_mbox_merge_no_loss;
+      prop_shadow_all_or_nothing;
+      prop_partition_fully_connected;
+      prop_convergence_after_merge;
+      prop_fs_matches_model;
+      prop_commits_survive_crashes;
+      prop_convergence_despite_message_loss;
+    ]
+
+let () = Alcotest.run "props" [ ("invariants", props) ]

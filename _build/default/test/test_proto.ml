@@ -1,0 +1,158 @@
+(* Unit tests of the protocol vocabulary: the wire-size model and tags.
+   The size model drives latency charging and byte accounting, so it must
+   be positive, monotone in payload size, and account for every field that
+   scales. *)
+
+module Gfile = Catalog.Gfile
+module Vvec = Vv.Version_vector
+
+let check = Alcotest.check
+
+let gf = Gfile.make ~fg:0 ~ino:7
+
+let vv_small = Vvec.bump Vvec.zero 1
+
+let vv_big = List.fold_left Vvec.bump Vvec.zero [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let some_reqs =
+  [
+    Proto.Open_req { gf; mode = Proto.Mode_read; us_vv = None; shared = false };
+    Proto.Storage_req
+      { gf; vv = vv_small; us = 1; mode = Proto.Mode_read; others = [ 2; 3 ] };
+    Proto.Read_page { gf; lpage = 0; guess = 0 };
+    Proto.Write_page { gf; lpage = 0; whole = true; off = 0; data = String.make 1024 'x' };
+    Proto.Truncate_req { gf; size = 0 };
+    Proto.Commit_req { gf; us = 0; abort = false; delete = false; force_vv = None };
+    Proto.Us_close { gf; mode = Proto.Mode_read };
+    Proto.Ss_close { gf; ss = 0; us = 1; mode = Proto.Mode_read };
+    Proto.Commit_notify
+      {
+        gf;
+        vv = vv_small;
+        meta_only = false;
+        modified = [ 0; 1 ];
+        origin = 0;
+        fresh = true;
+        deleted = false;
+        designate = false;
+        replicas = [];
+      };
+    Proto.Reclaim_req { gf };
+    Proto.Page_invalidate { gf; lpage = 3 };
+    Proto.Create_req
+      { fg = 0; ftype = Storage.Inode.Regular; owner = "u"; perms = 0o644; replicate_at = [] };
+    Proto.Link_count { gf; delta = 1 };
+    Proto.Set_attr { gf; perms = Some 0o600; owner = None };
+    Proto.Stat_req { gf };
+    Proto.Where_stored { gf };
+    Proto.Token_req { key = Proto.Tok_fd (0, 1); for_site = 2 };
+    Proto.Token_state_req { key = Proto.Tok_fd (0, 1) };
+    Proto.Signal_req { pid = 1; signo = 9 };
+    Proto.Exit_notify { pid = 1; status = 0; child_site = 2 };
+    Proto.Part_poll { initiator = 0; pset = [ 0; 1 ] };
+    Proto.Part_announce { active = 0; members = [ 0; 1 ] };
+    Proto.Merge_poll { initiator = 0 };
+    Proto.Merge_announce { members = [ 0; 1 ]; css_map = [ (0, 0) ] };
+    Proto.Status_check { asker = 0 };
+    Proto.Open_files_query { fg = 0 };
+    Proto.Pack_inventory { fg = 0 };
+    Proto.Pipe_write { gf; data = "abc" };
+    Proto.Pipe_read { gf; max = 10 };
+  ]
+
+let test_sizes_positive () =
+  List.iter
+    (fun req ->
+      let n = Proto.req_bytes req in
+      if n <= 0 then Alcotest.failf "non-positive size for %s" (Proto.req_tag req))
+    some_reqs
+
+let test_tags_nonempty_and_distinctive () =
+  let tags = List.map Proto.req_tag some_reqs in
+  List.iter (fun t -> if t = "" then Alcotest.fail "empty tag") tags;
+  check Alcotest.bool "plenty of distinct tags" true
+    (List.length (List.sort_uniq compare tags) > 20)
+
+let test_payload_monotone () =
+  let size data =
+    Proto.req_bytes (Proto.Write_page { gf; lpage = 0; whole = true; off = 0; data })
+  in
+  check Alcotest.bool "write grows with data" true (size (String.make 1024 'x') > size "x");
+  let vv_size v =
+    Proto.req_bytes
+      (Proto.Storage_req { gf; vv = v; us = 1; mode = Proto.Mode_read; others = [] })
+  in
+  check Alcotest.bool "vv grows with components" true (vv_size vv_big > vv_size vv_small);
+  let fork_size pages =
+    Proto.req_bytes
+      (Proto.Fork_req
+         {
+           child_pid = 1;
+           env =
+             { Proto.e_uid = "u"; e_cwd = gf; e_context = []; e_ncopies = 1; e_fds = [] };
+           image_pages = pages;
+           parent = (0, 0);
+         })
+  in
+  (* Fork ships the image: size scales with pages. *)
+  check Alcotest.bool "fork ships image" true
+    (fork_size 64 - fork_size 1 >= 63 * 1024)
+
+let test_resp_sizes () =
+  let info =
+    {
+      Proto.i_ftype = Storage.Inode.Regular;
+      i_size = 0;
+      i_nlink = 1;
+      i_owner = "someone";
+      i_perms = 0o644;
+      i_mtime = 0.0;
+      i_vv = vv_small;
+      i_deleted = false;
+    }
+  in
+  List.iter
+    (fun resp ->
+      if Proto.resp_bytes resp <= 0 then Alcotest.fail "non-positive response size")
+    [
+      Proto.R_ok;
+      Proto.R_err Proto.Enoent;
+      Proto.R_open { ss = 0; info; others = []; nocache = false; slot = 1 };
+      Proto.R_storage { accept = true; info = Some info; slot = 1 };
+      Proto.R_page { data = String.make 512 'd'; eof = true };
+      Proto.R_committed { vv = vv_small };
+      Proto.R_stat { info = Some info; stored_here = true };
+      Proto.R_where { sites = [ 0 ]; all_sites = [ 0; 1 ]; vv = vv_small };
+      Proto.R_token { granted = true; state = "17" };
+      Proto.R_pset { pset = [ 0; 1; 2 ] };
+      Proto.R_inventory { files = [ (2, vv_small, false) ] };
+      Proto.R_data { data = "x" };
+    ];
+  check Alcotest.bool "page response dominated by data" true
+    (Proto.resp_bytes (Proto.R_page { data = String.make 1024 'd'; eof = false })
+     > 1024)
+
+let test_errno_strings () =
+  List.iter
+    (fun e ->
+      let s = Proto.errno_to_string e in
+      if String.length s < 3 || s.[0] <> 'E' then
+        Alcotest.failf "odd errno rendering %S" s)
+    [
+      Proto.Enoent; Proto.Enotdir; Proto.Eisdir; Proto.Eexist; Proto.Eaccess;
+      Proto.Ebusy; Proto.Estale; Proto.Econflict; Proto.Enospc; Proto.Eio;
+      Proto.Enet; Proto.Esrch; Proto.Edeadtoken; Proto.Einval;
+    ]
+
+let () =
+  Alcotest.run "proto"
+    [
+      ( "wire-model",
+        [
+          Alcotest.test_case "sizes positive" `Quick test_sizes_positive;
+          Alcotest.test_case "tags" `Quick test_tags_nonempty_and_distinctive;
+          Alcotest.test_case "payload monotone" `Quick test_payload_monotone;
+          Alcotest.test_case "response sizes" `Quick test_resp_sizes;
+          Alcotest.test_case "errno strings" `Quick test_errno_strings;
+        ] );
+    ]

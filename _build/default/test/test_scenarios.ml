@@ -1,0 +1,200 @@
+(* Long multi-step scenarios that combine the subsystems: three-way
+   partitions, cascaded failures, repeated split/merge cycles, reads that
+   survive reconfiguration, and CSS failover with in-flight state. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Us = Locus_core.Us
+module K = Locus_core.Ktypes
+module Topology = Net.Topology
+module Reconcile = Recovery.Reconcile
+
+let check = Alcotest.check
+
+let make_world ?(n = 6) () = World.create ~config:(World.default_config ~n_sites:n ()) ()
+
+let total f recon = List.fold_left (fun acc (_, r) -> acc + f r) 0 recon
+
+(* Three partitions each update the same file: the merge detects a 3-way
+   conflict; interactive resolution picks one version for everyone. *)
+let test_three_way_conflict () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 6;
+  ignore (Kernel.creat k0 p0 "/w");
+  Kernel.write_file k0 p0 "/w" "base";
+  ignore (World.settle w);
+  ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ]);
+  Kernel.write_file k0 p0 "/w" "version A";
+  Kernel.write_file (World.kernel w 2) (World.proc w 2) "/w" "version B";
+  Kernel.write_file (World.kernel w 4) (World.proc w 4) "/w" "version C";
+  ignore (World.settle w);
+  let _, recon = World.heal_and_merge w in
+  check Alcotest.int "one conflicted file" 1
+    (total (fun r -> r.Reconcile.conflicts_marked) recon);
+  let gf = Kernel.resolve k0 p0 "/w" in
+  check Alcotest.bool "resolved" true
+    (Reconcile.resolve_manual (World.kernel w 0) gf ~winner:4);
+  ignore (World.settle w);
+  List.iter
+    (fun s ->
+      check Alcotest.string
+        (Printf.sprintf "site %d sees the winner" s)
+        "version C"
+        (Kernel.read_file (World.kernel w s) (World.proc w s) "/w"))
+    (World.sites w)
+
+(* Three partitions, disjoint directory updates: everything merges with no
+   conflicts at all. *)
+let test_three_way_directory_union () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 6;
+  ignore (Kernel.mkdir k0 p0 "/s");
+  ignore (World.settle w);
+  ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ]);
+  List.iter
+    (fun leader ->
+      let k = World.kernel w leader and p = World.proc w leader in
+      ignore (Kernel.creat k p (Printf.sprintf "/s/from%d" leader));
+      Kernel.write_file k p (Printf.sprintf "/s/from%d" leader)
+        (string_of_int leader))
+    [ 0; 2; 4 ];
+  ignore (World.settle w);
+  let _, recon = World.heal_and_merge w in
+  check Alcotest.int "no conflicts" 0 (total (fun r -> r.Reconcile.conflicts_marked) recon);
+  let names =
+    Kernel.readdir k0 p0 "/s"
+    |> List.map (fun (e : Catalog.Dir.entry) -> e.Catalog.Dir.name)
+    |> List.filter (fun n -> n <> "." && n <> "..")
+  in
+  check Alcotest.(list string) "all three creations present"
+    [ "from0"; "from2"; "from4" ] names
+
+(* An open read survives a merge: the process continues on its version
+   (section 5.2's principles). *)
+let test_open_read_survives_merge () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 6;
+  ignore (Kernel.creat k0 p0 "/doc");
+  Kernel.write_file k0 p0 "/doc" (String.make 2048 'v');
+  ignore (World.settle w);
+  ignore (World.partition w [ [ 0; 1; 2 ]; [ 3; 4; 5 ] ]);
+  (* Reader on the left holds the file open through the whole episode. *)
+  let o = Us.open_gf k0 (Kernel.resolve k0 p0 "/doc") Proto.Mode_read in
+  let before, _ = Us.read_page k0 o 0 in
+  ignore (World.heal_and_merge w);
+  let after, _ = Us.read_page k0 o 1 in
+  check Alcotest.int "read continues" Storage.Page.size (String.length after);
+  check Alcotest.string "same version" (String.sub before 0 10)
+    (String.make 10 'v');
+  Us.close k0 o
+
+(* Cascaded failures: sites die one at a time; after each, the survivors
+   re-agree and the file stays available until the last copy dies. *)
+let test_cascading_failures () =
+  let w = make_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 3;
+  ignore (Kernel.creat k0 p0 "/c");
+  Kernel.write_file k0 p0 "/c" "survives";
+  ignore (World.settle w);
+  (* Copies live at 0,1,2. Kill 0 then 1: still available; kill 2: gone. *)
+  World.crash_site w 0;
+  ignore (World.detect_failures w ~initiator:3);
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  check Alcotest.string "after first crash" "survives" (Kernel.read_file k3 p3 "/c");
+  World.crash_site w 1;
+  ignore (World.detect_failures w ~initiator:3);
+  check Alcotest.string "after second crash" "survives" (Kernel.read_file k3 p3 "/c");
+  World.crash_site w 2;
+  ignore (World.detect_failures w ~initiator:3);
+  (match Kernel.read_file k3 p3 "/c" with
+  | _ -> Alcotest.fail "no copies left: read should fail"
+  | exception K.Error _ -> ());
+  (* All three return: the file is whole again. *)
+  List.iter (fun s -> World.restart_site w s) [ 0; 1; 2 ];
+  ignore (World.heal_and_merge w);
+  check Alcotest.string "after full recovery" "survives" (Kernel.read_file k3 p3 "/c")
+
+(* Repeated split/heal cycles with alternating writers never lose the
+   latest committed version and never leave false conflicts. *)
+let test_alternating_writer_cycles () =
+  let w = make_world ~n:4 () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.creat k0 p0 "/ping");
+  Kernel.write_file k0 p0 "/ping" "v0";
+  ignore (World.settle w);
+  for round = 1 to 5 do
+    ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
+    (* Only ONE side writes each round: no conflict must ever appear. *)
+    let writer = if round mod 2 = 0 then 0 else 2 in
+    Kernel.write_file (World.kernel w writer) (World.proc w writer) "/ping"
+      (Printf.sprintf "v%d" round);
+    ignore (World.settle w);
+    let _, recon = World.heal_and_merge w in
+    check Alcotest.int
+      (Printf.sprintf "round %d conflict-free" round)
+      0
+      (total (fun r -> r.Reconcile.conflicts_marked) recon)
+  done;
+  List.iter
+    (fun s ->
+      check Alcotest.string
+        (Printf.sprintf "site %d final" s)
+        "v5"
+        (Kernel.read_file (World.kernel w s) (World.proc w s) "/ping"))
+    (World.sites w)
+
+(* The CSS crashes while a remote writer holds the modification lock; the
+   new CSS rebuilds the lock table, still refusing a second writer. *)
+let test_css_failover_preserves_lock () =
+  let w = make_world ~n:4 () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 3;
+  ignore (Kernel.creat k0 p0 "/locked");
+  Kernel.write_file k0 p0 "/locked" "x";
+  ignore (World.settle w);
+  (* Writer at site 2 (CSS is site 0). *)
+  let k2 = World.kernel w 2 in
+  let gf2 = Kernel.resolve k2 (World.proc w 2) "/locked" in
+  let o = Us.open_gf k2 gf2 Proto.Mode_modify in
+  Us.write k2 o ~off:0 "y";
+  (* CSS dies. The survivors re-elect; the rebuilt lock table must still
+     show site 2 as the writer. *)
+  World.crash_site w 0;
+  ignore (World.detect_failures w ~initiator:1);
+  let new_css = (K.fg_info k2 0).K.css_site in
+  check Alcotest.int "site 1 is the new CSS" 1 new_css;
+  let k3 = World.kernel w 3 in
+  (match Us.open_gf k3 (Kernel.resolve k3 (World.proc w 3) "/locked") Proto.Mode_modify with
+  | _ -> Alcotest.fail "lock should survive CSS failover"
+  | exception K.Error (Proto.Ebusy, _) -> ());
+  (* The original writer can still finish its work. *)
+  Us.commit k2 o;
+  Us.close k2 o;
+  ignore (World.settle w);
+  check Alcotest.string "writer's commit landed" "y"
+    (Kernel.read_file k3 (World.proc w 3) "/locked")
+
+let () =
+  Alcotest.run "scenarios"
+    [
+      ( "multi-way",
+        [
+          Alcotest.test_case "three-way conflict" `Quick test_three_way_conflict;
+          Alcotest.test_case "three-way directory union" `Quick
+            test_three_way_directory_union;
+        ] );
+      ( "continuity",
+        [
+          Alcotest.test_case "open read survives merge" `Quick
+            test_open_read_survives_merge;
+          Alcotest.test_case "cascading failures" `Quick test_cascading_failures;
+          Alcotest.test_case "alternating writers" `Quick test_alternating_writer_cycles;
+          Alcotest.test_case "css failover preserves lock" `Quick
+            test_css_failover_preserves_lock;
+        ] );
+    ]

@@ -1,0 +1,308 @@
+(* Unit tests for the storage substrate: disk, inodes/packs with indirect
+   page tables, LRU cache, and the shadow-page commit engine — including
+   crash-injection atomicity. *)
+
+module Page = Storage.Page
+module Disk = Storage.Disk
+module Inode = Storage.Inode
+module Pack = Storage.Pack
+module Shadow = Storage.Shadow
+module Cache = Storage.Cache
+module Vvec = Vv.Version_vector
+
+let check = Alcotest.check
+
+(* ---- pages ---- *)
+
+let test_page_codec () =
+  let p = Page.blank () in
+  Page.set_u32 p 0 0;
+  Page.set_u32 p 4 123456789;
+  Page.set_u32 p 8 0xFFFFFFFF;
+  check Alcotest.int "zero" 0 (Page.get_u32 p 0);
+  check Alcotest.int "value" 123456789 (Page.get_u32 p 4);
+  check Alcotest.int "max" 0xFFFFFFFF (Page.get_u32 p 8)
+
+let test_page_of_string () =
+  let p = Page.of_string "hello" in
+  check Alcotest.string "prefix" "hello" (Page.sub p 0 5);
+  check Alcotest.int "padded to size" Page.size (String.length (Page.to_string p));
+  let long = String.make (Page.size + 100) 'x' in
+  let p2 = Page.of_string long in
+  check Alcotest.int "truncated" Page.size (String.length (Page.to_string p2))
+
+(* ---- disk ---- *)
+
+let test_disk_alloc_free () =
+  let d = Disk.create ~pages:16 () in
+  let a = Disk.alloc d in
+  check Alcotest.bool "address nonzero" true (a > 0);
+  check Alcotest.int "used" 1 (Disk.used d);
+  Disk.free d a;
+  check Alcotest.int "freed" 0 (Disk.used d);
+  (match Disk.free d a with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double free should raise");
+  let b = Disk.alloc d in
+  check Alcotest.int "address reused" a b
+
+let test_disk_full () =
+  let d = Disk.create ~pages:4 () in
+  (* Page 0 reserved: capacity is 3. *)
+  let _ = Disk.alloc d and _ = Disk.alloc d and _ = Disk.alloc d in
+  match Disk.alloc d with
+  | exception Disk.Disk_full -> ()
+  | _ -> Alcotest.fail "expected Disk_full"
+
+let test_disk_rw () =
+  let d = Disk.create () in
+  let a = Disk.alloc d in
+  Disk.write d a (Page.of_string "data!");
+  check Alcotest.string "read back" "data!" (Page.sub (Disk.read d a) 0 5);
+  check Alcotest.bool "read counted" true (Disk.reads d >= 1);
+  check Alcotest.bool "write counted" true (Disk.writes d >= 1)
+
+(* ---- pack + inode page tables ---- *)
+
+let make_pack () = Pack.create ~fg:0 ~pack_id:0 ~ino_lo:2 ~ino_hi:1000 ()
+
+let install pack ~ino content =
+  let inode = Inode.create ~ino ~ftype:Inode.Regular ~owner:"t" in
+  Pack.install_inode pack inode;
+  if String.length content > 0 then begin
+    let s = Shadow.begin_modify pack ino in
+    Shadow.set_contents s content;
+    Shadow.commit s ~vv:(Vvec.bump Vvec.zero 0) ~mtime:1.0
+  end;
+  Pack.get_inode pack ino
+
+let test_pack_alloc_ino_partitioned () =
+  let a = Pack.create ~fg:0 ~pack_id:0 ~ino_lo:2 ~ino_hi:100 () in
+  let b = Pack.create ~fg:0 ~pack_id:1 ~ino_lo:101 ~ino_hi:200 () in
+  let ia = Pack.alloc_ino a and ib = Pack.alloc_ino b in
+  check Alcotest.bool "disjoint ranges" true (ia >= 2 && ia <= 100 && ib >= 101)
+
+let test_pack_small_file_roundtrip () =
+  let pack = make_pack () in
+  let inode = install pack ~ino:2 "hello storage" in
+  check Alcotest.string "contents" "hello storage" (Pack.read_string pack inode);
+  check Alcotest.int "size" 13 inode.Inode.size
+
+let test_pack_large_file_indirect () =
+  let pack = make_pack () in
+  (* 20 pages: beyond the 8 direct slots, into the indirect page. *)
+  let body = String.init (20 * Page.size) (fun i -> Char.chr (65 + (i mod 26))) in
+  let inode = install pack ~ino:2 body in
+  check Alcotest.bool "indirect allocated" true (inode.Inode.indirect <> 0);
+  check Alcotest.string "large roundtrip" body (Pack.read_string pack inode);
+  (* Shrink back below the direct threshold: indirect page released. *)
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.set_contents s "tiny";
+  Shadow.commit s ~vv:(Vvec.bump Vvec.zero 0) ~mtime:2.0;
+  let inode = Pack.get_inode pack 2 in
+  check Alcotest.int "no indirect" 0 inode.Inode.indirect;
+  check Alcotest.string "shrunk" "tiny" (Pack.read_string pack inode)
+
+let test_pack_remove_frees_pages () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 (String.make 5000 'z') in
+  let used = Disk.used (Pack.disk pack) in
+  check Alcotest.bool "pages in use" true (used > 0);
+  Pack.remove_inode pack 2;
+  check Alcotest.int "all pages freed" 0 (Disk.used (Pack.disk pack))
+
+(* ---- shadow-page commit ---- *)
+
+let test_shadow_commit_replaces () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "version one" in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.set_contents s "version two!";
+  (* Before commit, the disk inode still shows the old version. *)
+  check Alcotest.string "old visible before commit" "version one"
+    (Pack.read_string pack (Pack.get_inode pack 2));
+  Shadow.commit s ~vv:(Vvec.bump (Vvec.bump Vvec.zero 0) 0) ~mtime:2.0;
+  check Alcotest.string "new after commit" "version two!"
+    (Pack.read_string pack (Pack.get_inode pack 2))
+
+let test_shadow_abort_restores () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "keep me" in
+  let used_before = Disk.used (Pack.disk pack) in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.write_page s ~lpage:0 (Page.of_string "discard");
+  Shadow.patch_page s ~lpage:1 ~off:0 "more";
+  Shadow.abort s;
+  check Alcotest.string "unchanged" "keep me"
+    (Pack.read_string pack (Pack.get_inode pack 2));
+  check Alcotest.int "no leaked pages" used_before (Disk.used (Pack.disk pack))
+
+let test_shadow_partial_page_patch () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "abcdefghij" in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.patch_page s ~lpage:0 ~off:3 "XYZ";
+  Shadow.commit s ~vv:(Vvec.bump Vvec.zero 0) ~mtime:2.0;
+  check Alcotest.string "patched" "abcXYZghij"
+    (Pack.read_string pack (Pack.get_inode pack 2))
+
+let test_shadow_page_reused_in_place () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "start" in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.write_page s ~lpage:0 (Page.of_string "first");
+  let used_after_first = Disk.used (Pack.disk pack) in
+  (* Section 2.3.6: later writes to the same logical page reuse the shadow
+     page in place. *)
+  Shadow.write_page s ~lpage:0 (Page.of_string "second");
+  Shadow.write_page s ~lpage:0 (Page.of_string "third");
+  check Alcotest.int "no extra pages allocated" used_after_first
+    (Disk.used (Pack.disk pack));
+  Shadow.commit s ~vv:(Vvec.bump Vvec.zero 0) ~mtime:2.0;
+  check Alcotest.string "last write wins" "third"
+    (Pack.read_string pack (Pack.get_inode pack 2) |> fun s -> String.sub s 0 5)
+
+let test_shadow_crash_before_switch () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "stable version" in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.set_contents s "doomed version that never commits";
+  Shadow.crash_before_switch s;
+  (* The old version is fully intact. *)
+  check Alcotest.string "old version intact" "stable version"
+    (Pack.read_string pack (Pack.get_inode pack 2));
+  (* Orphaned shadow pages are reclaimed by scavenging. *)
+  let freed = Pack.scavenge pack in
+  check Alcotest.bool "orphans reclaimed" true (freed > 0);
+  check Alcotest.string "still intact after scavenge" "stable version"
+    (Pack.read_string pack (Pack.get_inode pack 2))
+
+let test_shadow_delete_mark () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "to be deleted" in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.set_contents s "";
+  Shadow.mark_deleted s ~time:9.0;
+  Shadow.commit s ~vv:(Vvec.bump Vvec.zero 0) ~mtime:9.0;
+  let inode = Pack.get_inode pack 2 in
+  check Alcotest.bool "deleted" true inode.Inode.deleted;
+  check Alcotest.int "empty" 0 inode.Inode.size
+
+let test_shadow_modified_lpages () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 (String.make 4000 'a') in
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.patch_page s ~lpage:2 ~off:0 "x";
+  Shadow.patch_page s ~lpage:0 ~off:0 "y";
+  check Alcotest.(list int) "modified pages sorted" [ 0; 2 ] (Shadow.modified_lpages s);
+  Shadow.abort s
+
+(* ---- cache ---- *)
+
+let test_fsck_clean_pack () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 (String.make 5000 'f') in
+  let _ = install pack ~ino:3 "small" in
+  Alcotest.(check int) "clean" 0 (List.length (Pack.fsck pack))
+
+let test_fsck_detects_orphans () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "x" in
+  (* Crash mid-commit leaves orphans. *)
+  let s = Shadow.begin_modify pack 2 in
+  Shadow.set_contents s (String.make 3000 'o');
+  Shadow.crash_before_switch s;
+  (match Pack.fsck pack with
+  | [ Pack.Orphan_pages n ] -> Alcotest.(check bool) "orphans found" true (n > 0)
+  | other ->
+    Alcotest.failf "expected orphans, got %d errors" (List.length other));
+  ignore (Pack.scavenge pack);
+  Alcotest.(check int) "clean after scavenge" 0 (List.length (Pack.fsck pack))
+
+let test_fsck_detects_double_allocation () =
+  let pack = make_pack () in
+  let _ = install pack ~ino:2 "abc" in
+  let i2 = Pack.get_inode pack 2 in
+  (* Forge a second inode pointing at inode 2's page. *)
+  let forged = Inode.create ~ino:9 ~ftype:Inode.Regular ~owner:"evil" in
+  forged.Inode.direct.(0) <- i2.Inode.direct.(0);
+  forged.Inode.size <- 3;
+  Pack.install_inode pack forged;
+  let errs = Pack.fsck pack in
+  Alcotest.(check bool) "double allocation caught" true
+    (List.exists (function Pack.Double_allocated _ -> true | _ -> false) errs)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:4 in
+  check Alcotest.bool "initial miss" true (Cache.find c "a" = None);
+  Cache.insert c "a" (Page.of_string "A");
+  (match Cache.find c "a" with
+  | Some p -> check Alcotest.string "hit value" "A" (Page.sub p 0 1)
+  | None -> Alcotest.fail "expected hit");
+  check Alcotest.int "hits" 1 (Cache.hits c);
+  check Alcotest.int "misses" 1 (Cache.misses c)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Cache.insert c "a" (Page.of_string "A");
+  Cache.insert c "b" (Page.of_string "B");
+  ignore (Cache.find c "a");
+  (* "b" is now least recently used; inserting "c" evicts it. *)
+  Cache.insert c "c" (Page.of_string "C");
+  check Alcotest.bool "a kept" true (Cache.find c "a" <> None);
+  check Alcotest.bool "b evicted" true (Cache.find c "b" = None);
+  check Alcotest.bool "c kept" true (Cache.find c "c" <> None)
+
+let test_cache_invalidate_if () =
+  let c = Cache.create ~capacity:8 in
+  Cache.insert c ("f", 0) (Page.of_string "x");
+  Cache.insert c ("f", 1) (Page.of_string "y");
+  Cache.insert c ("g", 0) (Page.of_string "z");
+  Cache.invalidate_if c (fun (name, _) -> name = "f");
+  check Alcotest.int "only g left" 1 (Cache.length c);
+  check Alcotest.bool "g survives" true (Cache.find c ("g", 0) <> None)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "u32 codec" `Quick test_page_codec;
+          Alcotest.test_case "of_string" `Quick test_page_of_string;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_disk_alloc_free;
+          Alcotest.test_case "full" `Quick test_disk_full;
+          Alcotest.test_case "read/write" `Quick test_disk_rw;
+        ] );
+      ( "pack",
+        [
+          Alcotest.test_case "inode space partition" `Quick test_pack_alloc_ino_partitioned;
+          Alcotest.test_case "small file" `Quick test_pack_small_file_roundtrip;
+          Alcotest.test_case "indirect pages" `Quick test_pack_large_file_indirect;
+          Alcotest.test_case "remove frees" `Quick test_pack_remove_frees_pages;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "commit replaces" `Quick test_shadow_commit_replaces;
+          Alcotest.test_case "abort restores" `Quick test_shadow_abort_restores;
+          Alcotest.test_case "partial patch" `Quick test_shadow_partial_page_patch;
+          Alcotest.test_case "shadow reuse in place" `Quick test_shadow_page_reused_in_place;
+          Alcotest.test_case "crash before switch" `Quick test_shadow_crash_before_switch;
+          Alcotest.test_case "delete mark" `Quick test_shadow_delete_mark;
+          Alcotest.test_case "modified pages" `Quick test_shadow_modified_lpages;
+        ] );
+      ( "fsck",
+        [
+          Alcotest.test_case "clean pack" `Quick test_fsck_clean_pack;
+          Alcotest.test_case "orphans" `Quick test_fsck_detects_orphans;
+          Alcotest.test_case "double allocation" `Quick test_fsck_detects_double_allocation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "invalidate_if" `Quick test_cache_invalidate_if;
+        ] );
+    ]

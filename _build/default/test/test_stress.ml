@@ -1,0 +1,234 @@
+(* Stress / soak scenarios: long randomized (but seeded, deterministic)
+   workloads with repeated partition-merge cycles, crashes and restarts.
+   At the end, global invariants must hold:
+
+   - every file's copies agree (same version vector, same bytes) unless
+     the file is explicitly marked in conflict at its CSS;
+   - the namespace is consistent: every live directory entry points at a
+     stored, undeleted file, at every site;
+   - no shadow pages are leaked on any disk;
+   - all site tables agree after the final merge. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module K = Locus_core.Ktypes
+module Pack = Storage.Pack
+module Inode = Storage.Inode
+module Vvec = Vv.Version_vector
+module Rng = Sim.Rng
+
+let check = Alcotest.check
+
+let n_sites = 6
+
+let files = List.init 8 (fun i -> Printf.sprintf "/work/f%d" i)
+
+let setup () =
+  let w = World.create ~config:(World.default_config ~n_sites ()) () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 3;
+  ignore (Kernel.mkdir k0 p0 "/work");
+  ignore (Kernel.mkdir k0 p0 "/mail");
+  List.iter
+    (fun f ->
+      ignore (Kernel.creat k0 p0 f);
+      Kernel.write_file k0 p0 f "initial")
+    files;
+  ignore (World.settle w);
+  w
+
+let random_op w rng =
+  let site = Rng.int rng n_sites in
+  let k = World.kernel w site and p = World.proc w site in
+  if not k.K.alive then ()
+  else
+    let f = List.nth files (Rng.int rng (List.length files)) in
+    match Rng.int rng 6 with
+    | 0 | 1 | 2 -> ( try ignore (Kernel.read_file k p f) with K.Error _ -> ())
+    | 3 | 4 -> (
+      try Kernel.write_file k p f (Printf.sprintf "s%d-%d" site (Rng.int rng 1000))
+      with K.Error _ -> ())
+    | _ -> (
+      try
+        let name = Printf.sprintf "/work/extra%d_%d" site (Rng.int rng 20) in
+        match Kernel.stat k p name with
+        | _ -> Kernel.unlink k p name
+        | exception K.Error _ -> ignore (Kernel.creat k p name)
+      with K.Error _ -> ())
+
+let random_groups rng =
+  let cut = 1 + Rng.int rng (n_sites - 1) in
+  let sites = List.init n_sites Fun.id in
+  let left = List.filter (fun s -> s < cut) sites in
+  let right = List.filter (fun s -> s >= cut) sites in
+  [ left; right ]
+
+(* ---- invariants ---- *)
+
+let each_pack w f =
+  List.iter
+    (fun s ->
+      let k = World.kernel w s in
+      Hashtbl.iter (fun _ pack -> f s pack) k.K.packs)
+    (World.sites w)
+
+let assert_site_tables_agree w =
+  let tables = List.map (fun k -> k.K.site_table) (World.kernels w) in
+  match tables with
+  | [] -> ()
+  | first :: rest ->
+    List.iteri
+      (fun i t ->
+        check
+          Alcotest.(list int)
+          (Printf.sprintf "site table %d" (i + 1))
+          first t)
+      rest
+
+let assert_copies_converged w =
+  (* Per (fg, ino): all stored copies equal, unless marked in conflict. *)
+  let copies : (int * int, (Vvec.t * string) list ref) Hashtbl.t = Hashtbl.create 64 in
+  each_pack w (fun _site pack ->
+      List.iter
+        (fun (inode : Inode.t) ->
+          let key = (Pack.fg pack, inode.Inode.ino) in
+          let cell =
+            match Hashtbl.find_opt copies key with
+            | Some c -> c
+            | None ->
+              let c = ref [] in
+              Hashtbl.add copies key c;
+              c
+          in
+          cell := (inode.Inode.vv, Pack.read_string pack inode) :: !cell)
+        (Pack.inodes pack));
+  Hashtbl.iter
+    (fun (fg, ino) cell ->
+      let conflicted =
+        List.exists
+          (fun k ->
+            match Locus_core.Css.find_file k fg ino with
+            | Some f -> f.K.css_conflict
+            | None -> false)
+          (World.kernels w)
+      in
+      if not conflicted then begin
+        match !cell with
+        | [] -> ()
+        | (vv0, body0) :: rest ->
+          List.iter
+            (fun (vv, body) ->
+              if not (Vvec.equal vv vv0 && String.equal body body0) then
+                Alcotest.failf "file <%d,%d> diverged without conflict mark" fg ino)
+            rest
+      end)
+    copies
+
+let assert_namespace_consistent w =
+  List.iter
+    (fun s ->
+      let k = World.kernel w s and p = World.proc w s in
+      List.iter
+        (fun (e : Catalog.Dir.entry) ->
+          let name = e.Catalog.Dir.name in
+          if name <> "." && name <> ".." then begin
+            match Kernel.stat k p ("/work/" ^ name) with
+            | info ->
+              if info.Proto.i_deleted then
+                Alcotest.failf "entry %s points at a deleted file" name
+            | exception K.Error (Proto.Econflict, _) -> ()
+            | exception K.Error (e, m) ->
+              Alcotest.failf "entry %s unreadable at site %d: %s %s" name s
+                (Proto.errno_to_string e) m
+          end)
+        (try Kernel.readdir k p "/work" with K.Error _ -> []))
+    (World.sites w)
+
+let assert_no_leaked_pages w =
+  each_pack w (fun site pack ->
+      let freed = Pack.scavenge pack in
+      if freed > 0 then
+        Alcotest.failf "site %d leaked %d pages in fg %d" site freed (Pack.fg pack))
+
+let assert_fsck_clean w =
+  each_pack w (fun site pack ->
+      match Pack.fsck pack with
+      | [] -> ()
+      | errs ->
+        Alcotest.failf "fsck at site %d fg %d: %s" site (Pack.fg pack)
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Pack.pp_fsck_error) errs)))
+
+let resolve_all_conflicts w =
+  List.iter
+    (fun k ->
+      Hashtbl.iter
+        (fun fg (st : K.css_fg) ->
+          Hashtbl.iter
+            (fun ino (f : K.css_file) ->
+              if f.K.css_conflict then begin
+                let gf = Catalog.Gfile.make ~fg ~ino in
+                let winner =
+                  match Net.Site.Map.min_binding_opt f.K.site_vv with
+                  | Some (s, _) -> s
+                  | None -> 0
+                in
+                ignore (Recovery.Reconcile.resolve_manual k gf ~winner)
+              end)
+            st.K.css_files)
+        k.K.css_state)
+    (World.kernels w)
+
+(* ---- scenarios ---- *)
+
+let soak ~seed ~cycles ~ops_per_phase ~with_crashes () =
+  let w = setup () in
+  let rng = Rng.create seed in
+  for _cycle = 1 to cycles do
+    (* Healthy phase. *)
+    for _ = 1 to ops_per_phase do
+      random_op w rng
+    done;
+    ignore (World.settle w);
+    (* Partitioned phase. *)
+    ignore (World.partition w (random_groups rng));
+    for _ = 1 to ops_per_phase do
+      random_op w rng
+    done;
+    ignore (World.settle w);
+    (* Optional crash of one random site. *)
+    if with_crashes && Rng.bool rng then begin
+      let victim = Rng.int rng n_sites in
+      World.crash_site w victim;
+      World.restart_site w victim
+    end;
+    ignore (World.heal_and_merge w)
+  done;
+  ignore (World.heal_and_merge w);
+  ignore (World.settle w);
+  (* Resolve whatever real conflicts the divergent writes produced, then
+     re-check full convergence. *)
+  resolve_all_conflicts w;
+  ignore (World.settle w);
+  assert_site_tables_agree w;
+  assert_namespace_consistent w;
+  assert_copies_converged w;
+  assert_no_leaked_pages w;
+  assert_fsck_clean w
+
+let test_soak_partitions () = soak ~seed:11L ~cycles:6 ~ops_per_phase:25 ~with_crashes:false ()
+
+let test_soak_with_crashes () = soak ~seed:23L ~cycles:6 ~ops_per_phase:20 ~with_crashes:true ()
+
+let test_soak_long () = soak ~seed:37L ~cycles:12 ~ops_per_phase:30 ~with_crashes:true ()
+
+let () =
+  Alcotest.run "stress"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "partition cycles" `Quick test_soak_partitions;
+          Alcotest.test_case "partition + crash cycles" `Quick test_soak_with_crashes;
+          Alcotest.test_case "long mixed soak" `Slow test_soak_long;
+        ] );
+    ]
