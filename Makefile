@@ -1,0 +1,29 @@
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Everything a change must pass before review: build, tests, and (when
+# ocamlformat is installed) formatting.
+check:
+	dune build
+	dune runtest
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "ocamlformat not installed; skipping dune build @fmt"; \
+	fi
+
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -124,5 +124,7 @@ let () =
         | Some e -> e ()
         | None ->
           if name = "micro" then run_micro ()
-          else Printf.eprintf "unknown experiment %S (e1..e12, micro)\n" name)
+          else
+            Printf.eprintf "unknown experiment %S (e1..e%d, micro)\n" name
+              (List.length Experiments.all))
       names

@@ -34,6 +34,25 @@ let i = string_of_int
 
 let check b = if b then "PASS" else "FAIL"
 
+(* Per-request-tag latency percentiles from the transport layer's
+   histograms ("rpc.latency.<tag>"), in simulated ms. *)
+let rpc_latency_table ?(title = "per-tag RPC latency (simulated ms)") stats =
+  let prefix = "rpc.latency." in
+  let plen = String.length prefix in
+  let rows =
+    Sim.Stats.hist_names stats
+    |> List.filter_map (fun name ->
+           if String.length name > plen && String.sub name 0 plen = prefix then begin
+             let tag = String.sub name plen (String.length name - plen) in
+             let s = Sim.Stats.hist_summary stats name in
+             Some [ tag; i s.Sim.Stats.n; f2 s.Sim.Stats.p50; f2 s.Sim.Stats.p95;
+                    f2 s.Sim.Stats.p99; f2 s.Sim.Stats.hmax ]
+           end
+           else None)
+  in
+  if rows <> [] then
+    table ~title ~header:[ "tag"; "calls"; "p50"; "p95"; "p99"; "max" ] rows
+
 let section name what =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" name;

@@ -84,12 +84,12 @@ let sites_with_latest k f =
    candidate against the vv we send (section 2.3.3). *)
 let poll_storage_site k ~gf ~vv ~us ~mode ~others candidate =
   match
-    rpc k candidate (Proto.Storage_req { gf; vv; us; mode; others })
+    rpc_result k candidate (Proto.Storage_req { gf; vv; us; mode; others })
   with
-  | Proto.R_storage { accept = true; info = Some info; slot } -> Some (info, slot)
-  | Proto.R_storage _ | Proto.R_err _ -> None
-  | _ -> None
-  | exception Error (Proto.Enet, _) -> None
+  | Ok (Proto.R_storage { accept = true; info = Some info; slot }) -> Some (info, slot)
+  | Ok (Proto.R_storage _ | Proto.R_err _) -> None
+  | Ok _ -> None
+  | Stdlib.Error _ -> None
 
 let local_info k gf =
   match local_pack k gf.Gfile.fg with

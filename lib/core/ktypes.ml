@@ -185,23 +185,28 @@ let fresh_serial k =
   k.next_serial <- n + 1;
   n
 
-(* Remote procedure call to another kernel; collocated roles short-circuit to
-   a procedure call through [dispatch] (section 2.3.2). *)
+(* Remote procedure call to another kernel, through the transport layer:
+   typed errors, per-message-class retry policy, per-call tracing.
+   Collocated roles short-circuit to a procedure call (section 2.3.2). *)
+let rpc_result k dst req =
+  if not k.alive then Stdlib.Error (Net.Rpc.Unreachable { src = k.site; dst; attempts = 0 })
+  else
+    Net.Rpc.call k.net ~policy:(Proto.req_policy req) ~tag:(Proto.req_tag req) ~src:k.site
+      ~dst ~req_bytes:(Proto.req_bytes req) ~resp_bytes:Proto.resp_bytes req
+
+(* Raising variant for the protocol paths where any transport failure means
+   the operation fails with a network error. *)
 let rpc k dst req =
   if not k.alive then err Proto.Enet "site %a is down" Site.pp k.site;
-  match
-    Net.Netsim.call k.net ~tag:(Proto.req_tag req) ~src:k.site ~dst
-      ~req_bytes:(Proto.req_bytes req) ~resp_bytes:Proto.resp_bytes req
-  with
-  | resp -> resp
-  | exception Net.Netsim.Unreachable (_, d) ->
-    err Proto.Enet "site %a unreachable" Site.pp d
+  match rpc_result k dst req with
+  | Ok resp -> resp
+  | Stdlib.Error e -> err Proto.Enet "%a" Net.Rpc.pp_error e
 
 (* One-way notification; losses are silent (the commit protocol tolerates
    them: recovery reconciles). *)
 let notify k dst req =
   if k.alive then
-    Net.Netsim.send k.net ~tag:(Proto.req_tag req) ~src:k.site ~dst
+    Net.Rpc.send k.net ~tag:(Proto.req_tag req) ~src:k.site ~dst
       ~bytes:(Proto.req_bytes req) req
 
 (* SS serving-state bookkeeping, shared by the SS handlers and the CSS

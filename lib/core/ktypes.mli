@@ -184,10 +184,18 @@ val in_partition : t -> Site.t -> bool
 
 val fresh_serial : t -> int
 
+val rpc_result : t -> Site.t -> Proto.req -> (Proto.resp, Net.Rpc.rpc_error) result
+(** Remote procedure call to another kernel through the {!Net.Rpc}
+    transport layer, under the request's message-class policy
+    ({!Proto.req_policy}); collocated roles short-circuit to a procedure
+    call (§2.3.2). Returns the typed transport error; callers that can
+    tolerate or interpret failure (close paths, recovery polls, token
+    reclamation) match on it. If this kernel is down the error carries
+    [attempts = 0]. *)
+
 val rpc : t -> Site.t -> Proto.req -> Proto.resp
-(** Remote procedure call to another kernel; collocated roles
-    short-circuit to a procedure call (§2.3.2). Raises [ENET] on
-    unreachability. *)
+(** Like {!rpc_result}, but any transport failure raises [ENET] — for the
+    protocol paths where unreachability simply fails the operation. *)
 
 val notify : t -> Site.t -> Proto.req -> unit
 (** One-way message; losses are silent (recovery reconciles). *)

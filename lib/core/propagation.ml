@@ -141,17 +141,17 @@ let attempt k gf target_vv modified =
     | Some _ | None -> (
       (* Find a source holding the latest version: ask the CSS. *)
       let fi = fg_info k gf.Gfile.fg in
-      match rpc k fi.css_site (Proto.Where_stored { gf }) with
-      | Proto.R_where { sites; _ } -> (
+      match rpc_result k fi.css_site (Proto.Where_stored { gf }) with
+      | Ok (Proto.R_where { sites; _ }) -> (
         let sources =
           List.filter (fun s -> (not (Site.equal s k.site)) && in_partition k s) sites
         in
         match sources with
         | [] -> false
         | source :: _ -> pull_from k pack gf ~source ~modified)
-      | Proto.R_err _ -> false
-      | _ -> false
-      | exception Error (Proto.Enet, _) -> false))
+      | Ok (Proto.R_err _) -> false
+      | Ok _ -> false
+      | Stdlib.Error _ -> false))
 
 let rec service_queue k =
   match Queue.take_opt k.prop_queue with

@@ -182,7 +182,7 @@ let handle_commit ?force_vv k gf ~abort ~delete =
       in
       if Site.equal fi.css_site k.site then
         Css.handle_commit_notify k gf ~origin:k.site ~vv ~deleted:delete
-      else (try ignore (rpc k fi.css_site message) with Error (Proto.Enet, _) -> ());
+      else (match rpc_result k fi.css_site message with Ok _ | Stdlib.Error _ -> ());
       List.iter
         (fun site -> if not (Site.equal site k.site) then notify k site message)
         s.s_others;
@@ -285,7 +285,7 @@ let metadata_commit k gf mutate =
       in
       if Site.equal fi.css_site k.site then
         Css.handle_commit_notify k gf ~origin:k.site ~vv:inode.Inode.vv ~deleted:false
-      else (try ignore (rpc k fi.css_site message) with Error (Proto.Enet, _) -> ());
+      else (match rpc_result k fi.css_site message with Ok _ | Stdlib.Error _ -> ());
       (match find_open k gf with
       | Some s -> List.iter (fun site -> notify k site message) s.s_others
       | None -> ());

@@ -76,13 +76,15 @@ let handle_token_req k key ~for_site =
         end
         else begin
           match
-            rpc k fd.f_holder
+            rpc_result k fd.f_holder
               (Proto.Token_state_req { key = Proto.Tok_fd (fst key, snd key) })
           with
-          | Proto.R_token { granted = true; state } -> int_of_string_opt state
-          | Proto.R_token _ | Proto.R_err _ -> None
-          | _ -> None
-          | exception Error (Proto.Enet, _) -> None
+          | Ok (Proto.R_token { granted = true; state }) -> int_of_string_opt state
+          | Ok (Proto.R_token _ | Proto.R_err _) -> None
+          | Ok _ -> None
+          | Stdlib.Error _ -> None
+          (* Transport failure here becomes EDEADTOKEN below: the holder of
+             the offset token is unreachable (section 3.2). *)
         end
       in
       match offset with

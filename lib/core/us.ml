@@ -243,9 +243,10 @@ let close k o =
         (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
          with Error _ -> Proto.R_ok)
       else
-        try rpc k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode })
-        with Error (Proto.Enet, _) -> Proto.R_ok
-      (* A close that cannot reach the SS is handled by cleanup. *)
+        match rpc_result k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
+        | Ok resp -> resp
+        | Stdlib.Error _ -> Proto.R_ok
+        (* A close that cannot reach the SS is handled by cleanup. *)
     in
     (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ());
     record k ~tag:"us.close" (Gfile.to_string o.o_gf)

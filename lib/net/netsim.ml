@@ -1,7 +1,11 @@
 module Engine = Sim.Engine
 module Stats = Sim.Stats
 
-exception Unreachable of Site.t * Site.t
+type failure = Request_lost | Reply_lost
+
+let pp_failure ppf = function
+  | Request_lost -> Format.pp_print_string ppf "request-lost"
+  | Reply_lost -> Format.pp_print_string ppf "reply-lost"
 
 type ('req, 'resp) t = {
   engine : Engine.t;
@@ -12,6 +16,9 @@ type ('req, 'resp) t = {
   mutable drop_prob : float;
   mutable forced_failures : (Site.t * Site.t) list;
   mutable failure_observers : (Site.t -> Site.t -> unit) list;
+  mutable error_resp : 'resp -> bool;
+      (* classifies handler responses that signal an error, so that {!send}
+         can count the ones it silently discards *)
 }
 
 let create engine topo latency =
@@ -24,6 +31,7 @@ let create engine topo latency =
     drop_prob = 0.0;
     forced_failures = [];
     failure_observers = [];
+    error_resp = (fun _ -> false);
   }
 
 let engine t = t.engine
@@ -34,13 +42,15 @@ let latency t = t.latency
 
 let set_handler t site f = t.handlers <- Site.Map.add site f t.handlers
 
+let set_error_classifier t f = t.error_resp <- f
+
 let set_drop_probability t p = t.drop_prob <- p
 
 let fail_next_message t ~src ~dst = t.forced_failures <- (src, dst) :: t.forced_failures
 
 let on_circuit_failure t f = t.failure_observers <- f :: t.failure_observers
 
-let circuit_key a b = if a < b then (a, b) else (b, a)
+let circuit_key a b = if Site.compare a b <= 0 then (a, b) else (b, a)
 
 let circuits_open t = Hashtbl.length t.circuits
 
@@ -94,39 +104,47 @@ let account t ?tag ~bytes () =
 let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
   if Site.equal src dst then begin
     Engine.charge t.engine t.latency.Latency.local_call;
-    (handler_of t dst) ~src req
+    Ok ((handler_of t dst) ~src req)
   end
   else begin
     open_circuit t src dst;
     if not (message_delivered t ~src ~dst) then begin
       close_circuit t ~observer:src ~peer:dst;
-      raise (Unreachable (src, dst))
-    end;
-    account t ?tag ~bytes:req_bytes ();
-    Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:req_bytes);
-    let resp = (handler_of t dst) ~src req in
-    if not (message_delivered t ~src:dst ~dst:src) then begin
-      close_circuit t ~observer:src ~peer:dst;
-      raise (Unreachable (src, dst))
-    end;
-    let rbytes = resp_bytes resp in
-    account t ?tag ~bytes:rbytes ();
-    Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:rbytes);
-    resp
+      Error Request_lost
+    end
+    else begin
+      account t ?tag ~bytes:req_bytes ();
+      Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:req_bytes);
+      let resp = (handler_of t dst) ~src req in
+      if not (message_delivered t ~src:dst ~dst:src) then begin
+        close_circuit t ~observer:src ~peer:dst;
+        Error Reply_lost
+      end
+      else begin
+        let rbytes = resp_bytes resp in
+        account t ?tag ~bytes:rbytes ();
+        Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:rbytes);
+        Ok resp
+      end
+    end
   end
 
+(* Run a one-way message's handler, counting discarded error responses:
+   {!send} has nobody to give them to. *)
+let deliver_oneway t ~src ~dst req =
+  let resp = (handler_of t dst) ~src req in
+  if t.error_resp resp then Stats.incr (Engine.stats t.engine) "net.send.err"
+
 let send t ?tag ~src ~dst ~bytes req =
-  if Site.equal src dst then begin
-    let f = handler_of t dst in
+  if Site.equal src dst then
     Engine.schedule t.engine ~delay:t.latency.Latency.local_call (fun () ->
-        ignore (f ~src req))
-  end
+        deliver_oneway t ~src ~dst req)
   else begin
     open_circuit t src dst;
     account t ?tag ~bytes ();
     let delay = Latency.msg_cost t.latency ~bytes in
     Engine.schedule t.engine ~delay (fun () ->
-        if message_delivered t ~src ~dst then ignore ((handler_of t dst) ~src req)
+        if message_delivered t ~src ~dst then deliver_oneway t ~src ~dst req
         else close_circuit t ~observer:src ~peer:dst)
   end
 

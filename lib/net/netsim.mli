@@ -10,13 +10,23 @@
 
     Virtual circuits (§5.1) connect pairs of sites, deliver in order, and
     are closed by any delivery failure; closure is reported to registered
-    observers, which is how kernels detect that reconfiguration is needed. *)
+    observers, which is how kernels detect that reconfiguration is needed.
+
+    This module is deliberately dumb: one attempt, no recovery. Retry and
+    backoff policy, typed transport errors, and per-call accounting live one
+    layer up in {!Rpc}, which is what every kernel path goes through. *)
 
 type ('req, 'resp) t
 
-exception Unreachable of Site.t * Site.t
-(** Raised by {!call} when the destination cannot be reached (site down,
-    link down, or injected message loss). The circuit is closed first. *)
+(** Why a single exchange failed. [Request_lost]: the request never reached
+    the destination (site down, link down, or injected loss) — the handler
+    did not run. [Reply_lost]: the handler ran (any side effect happened)
+    but the response was lost on the way back. The distinction is what lets
+    the transport layer retry idempotent calls safely and refuse to retry
+    non-idempotent ones. *)
+type failure = Request_lost | Reply_lost
+
+val pp_failure : Format.formatter -> failure -> unit
 
 val create : Sim.Engine.t -> Topology.t -> Latency.t -> ('req, 'resp) t
 
@@ -29,6 +39,11 @@ val latency : ('req, 'resp) t -> Latency.t
 val set_handler : ('req, 'resp) t -> Site.t -> (src:Site.t -> 'req -> 'resp) -> unit
 (** Install the kernel dispatch function for a site. *)
 
+val set_error_classifier : ('req, 'resp) t -> ('resp -> bool) -> unit
+(** Teach the layer which responses denote errors, so {!send} can count the
+    error responses it silently discards (under ["net.send.err"]). Default:
+    nothing is an error. *)
+
 val call :
   ('req, 'resp) t ->
   ?tag:string ->
@@ -37,11 +52,12 @@ val call :
   req_bytes:int ->
   resp_bytes:('resp -> int) ->
   'req ->
-  'resp
-(** Synchronous exchange. When [src = dst] this is a local procedure call:
-    it charges only {!Latency.local_call} and counts no messages. Otherwise
-    it counts two messages (request and response) and charges their wire
-    cost. Raises {!Unreachable} on failure. *)
+  ('resp, failure) result
+(** Synchronous exchange, one attempt. When [src = dst] this is a local
+    procedure call: it charges only {!Latency.local_call}, counts no
+    messages, and cannot fail. Otherwise it counts two messages (request
+    and response) and charges their wire cost. On failure the circuit is
+    closed (observers run) and the typed failure is returned. *)
 
 val send :
   ('req, 'resp) t ->
@@ -51,9 +67,10 @@ val send :
   bytes:int ->
   'req ->
   unit
-(** One-way datagram, delivered asynchronously via the engine queue (the
-    handler's response is discarded). Delivery is checked at delivery time;
-    a failed delivery closes the circuit silently. *)
+(** One-way datagram, delivered asynchronously via the engine queue. The
+    handler's response is discarded; responses the error classifier flags
+    are counted under ["net.send.err"]. Delivery is checked at delivery
+    time; a failed delivery closes the circuit silently. *)
 
 val set_drop_probability : ('req, 'resp) t -> float -> unit
 (** Inject random message loss (checked per message). *)

@@ -1,0 +1,94 @@
+module Engine = Sim.Engine
+module Stats = Sim.Stats
+module Trace = Sim.Trace
+
+type rpc_error =
+  | Unreachable of { src : Site.t; dst : Site.t; attempts : int }
+  | Lost_reply of { src : Site.t; dst : Site.t; attempts : int }
+  | Timeout of { src : Site.t; dst : Site.t; attempts : int; waited : float }
+
+let pp_error ppf = function
+  | Unreachable { src; dst; attempts } ->
+    Format.fprintf ppf "site %a unreachable from %a (%d attempt%s)" Site.pp dst Site.pp src
+      attempts
+      (if attempts = 1 then "" else "s")
+  | Lost_reply { src; dst; attempts } ->
+    Format.fprintf ppf "reply lost from %a to %a (%d attempt%s)" Site.pp dst Site.pp src attempts
+      (if attempts = 1 then "" else "s")
+  | Timeout { src; dst; attempts; waited } ->
+    Format.fprintf ppf "call to %a from %a timed out after %.1f ms (%d attempts)" Site.pp dst
+      Site.pp src waited attempts
+
+let error_attempts = function
+  | Unreachable { attempts; _ } | Lost_reply { attempts; _ } | Timeout { attempts; _ } -> attempts
+
+type policy = {
+  max_attempts : int;
+  backoff : float list;
+  idempotent : bool;
+  timeout : float;
+}
+
+let no_retry = { max_attempts = 1; backoff = []; idempotent = false; timeout = 0.0 }
+
+let probe = { no_retry with idempotent = true }
+
+let default_policy = { max_attempts = 3; backoff = [ 0.5; 2.0; 8.0 ]; idempotent = true; timeout = 0.0 }
+
+(* Delay before retry number [n+1], after [n] failed attempts: last backoff
+   entry repeats if the schedule is shorter than the attempt budget. *)
+let backoff_delay policy n =
+  match policy.backoff with
+  | [] -> 0.0
+  | l -> List.nth l (min (n - 1) (List.length l - 1))
+
+let call net ?(policy = default_policy) ?(tag = "untagged") ~src ~dst ~req_bytes ~resp_bytes req =
+  let engine = Netsim.engine net in
+  let stats = Engine.stats engine in
+  let trace = Engine.trace engine in
+  Stats.incr stats "rpc.call";
+  let start = Engine.now engine in
+  let span =
+    Trace.span_begin trace ~time:start ~tag:"rpc"
+      (Format.asprintf "%s %a->%a" tag Site.pp src Site.pp dst)
+  in
+  let finish outcome result =
+    let now = Engine.now engine in
+    Trace.span_end trace ~time:now span outcome;
+    Stats.hist_observe stats ("rpc.latency." ^ tag) (now -. start);
+    result
+  in
+  let fail kind err =
+    Stats.incr stats "rpc.fail";
+    Stats.incr stats ("rpc.fail." ^ kind);
+    finish kind (Error err)
+  in
+  let rec attempt n =
+    match Netsim.call net ~tag ~src ~dst ~req_bytes ~resp_bytes req with
+    | Ok resp ->
+      Stats.hist_observe stats ("rpc.bytes." ^ tag) (float_of_int (req_bytes + resp_bytes resp));
+      if n > 1 then Stats.incr stats "rpc.recovered";
+      finish "ok" (Ok resp)
+    | Error failure ->
+      if (not policy.idempotent) || n >= policy.max_attempts then
+        match failure with
+        | Netsim.Request_lost -> fail "unreachable" (Unreachable { src; dst; attempts = n })
+        | Netsim.Reply_lost -> fail "lost_reply" (Lost_reply { src; dst; attempts = n })
+      else begin
+        let delay = backoff_delay policy n in
+        let waited = Engine.now engine -. start in
+        if policy.timeout > 0.0 && waited +. delay > policy.timeout then
+          fail "timeout" (Timeout { src; dst; attempts = n; waited })
+        else begin
+          Stats.incr stats "rpc.retry";
+          Stats.incr stats ("rpc.retry." ^ tag);
+          Engine.charge engine delay;
+          attempt (n + 1)
+        end
+      end
+  in
+  attempt 1
+
+let send net ?tag ~src ~dst ~bytes req =
+  Stats.incr (Engine.stats (Netsim.engine net)) "rpc.send";
+  Netsim.send net ?tag ~src ~dst ~bytes req

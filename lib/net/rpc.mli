@@ -1,0 +1,90 @@
+(** Typed RPC transport over {!Netsim}.
+
+    Every kernel-to-kernel exchange in the system goes through this module:
+    it turns {!Netsim}'s single-attempt, failure-returning exchange into a
+    policy-driven call with typed errors, bounded retries with simulated-time
+    backoff, per-call trace spans, and per-tag latency/byte histograms.
+
+    LOCUS runs its protocols directly on a problem-oriented transport
+    (§2.3.3): no connection setup, no transport-level acknowledgements —
+    the response to a request is its acknowledgement, and recovery from
+    loss is the requesting kernel's job. The retry policy here is that
+    recovery. Calls that the protocol makes idempotent (page reads, status
+    queries, token requests) may be resent after a loss; calls whose
+    handler mutates state non-idempotently (opens, commits, closes) are
+    never blindly retried — a lost reply after such a call surfaces as
+    {!Lost_reply} and the caller decides. Reconfiguration probes (§5) use
+    {!probe}: one attempt, because unreachability is the information the
+    caller is after, not a transient to paper over. *)
+
+type rpc_error =
+  | Unreachable of { src : Site.t; dst : Site.t; attempts : int }
+      (** No request ever reached [dst]: the destination handler did not run
+          on the final attempt. [attempts = 0] means the calling site itself
+          was down and nothing was sent. *)
+  | Lost_reply of { src : Site.t; dst : Site.t; attempts : int }
+      (** The final attempt's request was delivered and processed, but the
+          reply was lost. Remote state may have changed. *)
+  | Timeout of { src : Site.t; dst : Site.t; attempts : int; waited : float }
+      (** Retrying was abandoned because the next backoff would exceed the
+          policy's [timeout]; [waited] is the simulated time already spent. *)
+
+val pp_error : Format.formatter -> rpc_error -> unit
+
+val error_attempts : rpc_error -> int
+
+type policy = {
+  max_attempts : int;  (** Total attempts, including the first (>= 1). *)
+  backoff : float list;
+      (** Delay in simulated ms before retry [i] ([backoff]'s last entry
+          repeats if there are more retries than entries; empty = no delay).
+          Charged to the simulation clock. *)
+  idempotent : bool;
+      (** Only idempotent calls are ever retried; a non-idempotent call
+          fails on its first loss regardless of [max_attempts]. *)
+  timeout : float;
+      (** Upper bound on total simulated time spent in the call, checked
+          before each backoff; 0 = no bound. *)
+}
+
+val no_retry : policy
+(** Single attempt, not idempotent. For calls with non-idempotent remote
+    side effects: open, commit, close, create, fork. *)
+
+val probe : policy
+(** Single attempt, idempotent. For failure-detection polls where
+    unreachability is the answer, not an error to mask. *)
+
+val default_policy : policy
+(** Three attempts, backoff [0.5; 2.0; 8.0] ms, idempotent, no timeout.
+    For read-only and idempotent requests. *)
+
+val call :
+  ('req, 'resp) Netsim.t ->
+  ?policy:policy ->
+  ?tag:string ->
+  src:Site.t ->
+  dst:Site.t ->
+  req_bytes:int ->
+  resp_bytes:('resp -> int) ->
+  'req ->
+  ('resp, rpc_error) result
+(** Synchronous request/response under [policy] (default {!default_policy}).
+    Opens a trace span (tag ["rpc"]) covering all attempts and records a
+    sample in the ["rpc.latency.<tag>"] histogram on every outcome, plus
+    ["rpc.bytes.<tag>"] on success. Counters: ["rpc.call"], ["rpc.retry"]
+    (and ["rpc.retry.<tag>"]), ["rpc.recovered"] (succeeded after >= 1
+    retry), ["rpc.fail"] (and ["rpc.fail.unreachable" / ".lost_reply" /
+    ".timeout"]). Backoff delays are charged to the simulated clock. *)
+
+val send :
+  ('req, 'resp) Netsim.t ->
+  ?tag:string ->
+  src:Site.t ->
+  dst:Site.t ->
+  bytes:int ->
+  'req ->
+  unit
+(** One-way, best-effort datagram (counts ["rpc.send"]); see {!Netsim.send}.
+    No retries: one-way messages in LOCUS (commit notifications, update
+    propagation hints) are designed to be safely lost. *)

@@ -378,3 +378,27 @@ let req_tag = function
   | Pack_inventory _ -> "inventory"
   | Pipe_write _ -> "pipe.write"
   | Pipe_read _ -> "pipe.read"
+
+(* Retry policy per message class. Idempotent requests (reads, queries,
+   token traffic, re-sendable notifications) get the default retry policy;
+   requests whose handler mutates state non-idempotently (opens count
+   readers, commits bump version vectors, forks create processes) are never
+   blindly retried; reconfiguration probes are single-shot because
+   unreachability is the information being gathered (section 5.4). *)
+let req_idempotent = function
+  | Read_page _ | Stat_req _ | Where_stored _ | Open_files_query _
+  | Pack_inventory _ | Token_state_req _ | Token_req _ | Page_invalidate _
+  | Reclaim_req _ | Commit_notify _ | Write_page _ | Truncate_req _
+  | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _
+  | Status_check _ ->
+    true
+  | Open_req _ | Storage_req _ | Commit_req _ | Us_close _ | Ss_close _
+  | Create_req _ | Link_count _ | Set_attr _ | Fork_req _ | Exec_req _
+  | Run_req _ | Signal_req _ | Exit_notify _ | Pipe_write _ | Pipe_read _ ->
+    false
+
+let req_policy = function
+  | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _
+  | Status_check _ ->
+    Net.Rpc.probe
+  | req -> if req_idempotent req then Net.Rpc.default_policy else Net.Rpc.no_retry

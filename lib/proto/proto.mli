@@ -250,3 +250,15 @@ val resp_bytes : resp -> int
 
 val req_tag : req -> string
 (** Short label for per-category message statistics. *)
+
+val req_idempotent : req -> bool
+(** Whether resending the request after a suspected loss is safe: the
+    handler's effect is idempotent (reads, queries, token traffic,
+    re-sendable notifications). Opens, commits, closes, creates and
+    process operations are not. *)
+
+val req_policy : req -> Net.Rpc.policy
+(** Transport retry policy for the request's message class:
+    {!Net.Rpc.default_policy} for idempotent requests, {!Net.Rpc.no_retry}
+    for state-mutating ones, {!Net.Rpc.probe} for the §5 reconfiguration
+    polls — those must not retry, since unreachability is their answer. *)

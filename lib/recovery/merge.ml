@@ -57,24 +57,22 @@ let rebuild_css k fg ~members =
   List.iter
     (fun m ->
       (match
-         if Site.equal m k.site then Ss.handle_inventory k fg
-         else rpc k m (Proto.Pack_inventory { fg })
+         if Site.equal m k.site then Ok (Ss.handle_inventory k fg)
+         else rpc_result k m (Proto.Pack_inventory { fg })
        with
-      | Proto.R_inventory { files } ->
+      | Ok (Proto.R_inventory { files }) ->
         List.iter
           (fun (ino, vv, deleted) ->
             Css.seed_copy k (Gfile.make ~fg ~ino) ~site:m ~vv ~deleted)
           files
-      | Proto.R_err _ | _ -> ()
-      | exception Error (Proto.Enet, _) -> ());
+      | Ok _ | Stdlib.Error _ -> ());
       match
-        if Site.equal m k.site then Css.handle_open_files_query k fg
-        else rpc k m (Proto.Open_files_query { fg })
+        if Site.equal m k.site then Ok (Css.handle_open_files_query k fg)
+        else rpc_result k m (Proto.Open_files_query { fg })
       with
-      | Proto.R_open_files { files } ->
+      | Ok (Proto.R_open_files { files }) ->
         List.iter (fun entry -> Css.register_open k fg entry) files
-      | Proto.R_err _ | _ -> ()
-      | exception Error (Proto.Enet, _) -> ())
+      | Ok _ | Stdlib.Error _ -> ())
     members
 
 let handle_announce k ~members ~css_map =
@@ -112,14 +110,13 @@ let run_initiator ?(policy = default_policy) ?(gateways = []) k ~all_sites =
     if (not (Site.equal s k.site)) && not (Hashtbl.mem polled_set s) then begin
       Hashtbl.add polled_set s ();
       incr polled;
-      match rpc k s (Proto.Merge_poll { initiator = k.site }) with
-      | Proto.R_merge_info { believed_up; fgs } ->
+      match rpc_result k s (Proto.Merge_poll { initiator = k.site }) with
+      | Ok (Proto.R_merge_info { believed_up; fgs }) ->
         respondents := (s, believed_up, fgs) :: !respondents
-      | Proto.R_busy { active } ->
+      | Ok (Proto.R_busy { active }) ->
         incr busy;
         if active < k.site then raise (Yield active)
-      | Proto.R_err _ | _ -> missing := s :: !missing
-      | exception Error (Proto.Enet, _) -> missing := s :: !missing
+      | Ok _ | Stdlib.Error _ -> missing := s :: !missing
     end
   in
   (try
@@ -194,12 +191,9 @@ let run_initiator ?(policy = default_policy) ?(gateways = []) k ~all_sites =
   (* Declare the new partition and broadcast its composition. *)
   List.iter
     (fun m ->
-      if not (Site.equal m k.site) then begin
-        try
-          match rpc k m (Proto.Merge_announce { members; css_map }) with
-          | Proto.R_ok | _ -> ()
-        with Error (Proto.Enet, _) -> ()
-      end)
+      if not (Site.equal m k.site) then
+        match rpc_result k m (Proto.Merge_announce { members; css_map }) with
+        | Ok _ | Stdlib.Error _ -> ())
     members;
   ignore (handle_announce k ~members ~css_map);
   Hashtbl.remove merging k.site;

@@ -105,16 +105,15 @@ let run_active k =
       incr rounds;
       let target = Sset.min_elt remaining in
       incr polls;
-      match rpc k target (Proto.Part_poll { initiator = k.site; pset = Sset.elements !pa }) with
-      | Proto.R_pset { pset } ->
+      match
+        rpc_result k target (Proto.Part_poll { initiator = k.site; pset = Sset.elements !pa })
+      with
+      | Ok (Proto.R_pset { pset }) ->
         pa := Sset.inter !pa (Sset.of_list (target :: pset));
         (* Keep ourselves: we are definitionally in our own partition. *)
         pa := Sset.add k.site !pa;
         joined := Sset.add target (Sset.inter !joined !pa)
-      | Proto.R_err _ | _ ->
-        incr failures;
-        pa := Sset.remove target !pa
-      | exception Error (Proto.Enet, _) ->
+      | Ok _ | Stdlib.Error _ ->
         incr failures;
         pa := Sset.remove target !pa
     end
@@ -125,10 +124,8 @@ let run_active k =
   List.iter
     (fun s ->
       if not (Site.equal s k.site) then
-        try
-          match rpc k s (Proto.Part_announce { active = k.site; members }) with
-          | Proto.R_ok | _ -> ()
-        with Error (Proto.Enet, _) -> ())
+        match rpc_result k s (Proto.Part_announce { active = k.site; members }) with
+        | Ok _ | Stdlib.Error _ -> ())
     members;
   ignore (apply_membership k members);
   k.recon_stage <- 0;
@@ -138,7 +135,6 @@ let run_active k =
    site has failed, the passive site restarts the protocol itself. Returns
    the report when this site had to take over. *)
 let check_active_and_takeover k ~active =
-  match rpc k active (Proto.Status_check { asker = k.site }) with
-  | Proto.R_status _ -> None
-  | Proto.R_err _ | _ -> Some (run_active k)
-  | exception Error (Proto.Enet, _) -> Some (run_active k)
+  match rpc_result k active (Proto.Status_check { asker = k.site }) with
+  | Ok (Proto.R_status _) -> None
+  | Ok _ | Stdlib.Error _ -> Some (run_active k)

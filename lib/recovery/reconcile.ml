@@ -71,23 +71,21 @@ let merge_manager_for ftype = Hashtbl.find_opt merge_managers ftype
 (* ---- copy access ---- *)
 
 let fetch_info k site gf =
-  match rpc k site (Proto.Stat_req { gf }) with
-  | Proto.R_stat { info = Some info; _ } -> Some info
-  | Proto.R_stat { info = None; _ } | Proto.R_err _ -> None
-  | _ -> None
-  | exception Error (Proto.Enet, _) -> None
+  match rpc_result k site (Proto.Stat_req { gf }) with
+  | Ok (Proto.R_stat { info = Some info; _ }) -> Some info
+  | Ok (Proto.R_stat { info = None; _ } | Proto.R_err _) -> None
+  | Ok _ -> None
+  | Stdlib.Error _ -> None
 
 let fetch_content k site gf (info : Proto.inode_info) =
   let buf = Buffer.create info.Proto.i_size in
   let npages = (info.Proto.i_size + Page.size - 1) / Page.size in
   let ok = ref true in
-  (try
-     for lpage = 0 to npages - 1 do
-       match rpc k site (Proto.Read_page { gf; lpage; guess = 0 }) with
-       | Proto.R_page { data; _ } -> Buffer.add_string buf data
-       | Proto.R_err _ | _ -> ok := false
-     done
-   with Error (Proto.Enet, _) -> ok := false);
+  for lpage = 0 to npages - 1 do
+    match rpc_result k site (Proto.Read_page { gf; lpage; guess = 0 }) with
+    | Ok (Proto.R_page { data; _ }) -> Buffer.add_string buf data
+    | Ok _ | Stdlib.Error _ -> ok := false
+  done;
   if !ok then Some (Buffer.contents buf) else None
 
 (* Push merged contents to [target] and commit with the exact merged

@@ -23,13 +23,12 @@ let may_wait_for ~my_stage ~my_site ~their_stage ~their_site =
   theirs < mine || (theirs = mine && Site.compare their_site my_site < 0)
 
 let check_peer k peer =
-  match rpc k peer (Proto.Status_check { asker = k.site }) with
-  | Proto.R_status { stage; site = _ } ->
+  match rpc_result k peer (Proto.Status_check { asker = k.site }) with
+  | Ok (Proto.R_status { stage; site = _ }) ->
     let my_stage = stage_of_int k.recon_stage in
     let their_stage = stage_of_int stage in
     if
       may_wait_for ~my_stage ~my_site:k.site ~their_stage ~their_site:peer
     then `Wait
     else `Proceed
-  | Proto.R_err _ | _ -> `Restart
-  | exception Error (Proto.Enet, _) -> `Restart
+  | Ok _ | Stdlib.Error _ -> `Restart

@@ -1,9 +1,21 @@
+type hist = {
+  mutable h_data : float array;
+  mutable h_len : int;
+  mutable h_sorted : bool;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   series : (string, float list ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 64; series = Hashtbl.create 16 }
+let create () =
+  {
+    counters = Hashtbl.create 64;
+    series = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -45,9 +57,88 @@ let mean t name =
 
 let max_sample t name = List.fold_left Float.max 0.0 (samples t name)
 
+(* ---- histograms ---- *)
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = { h_data = Array.make 64 0.0; h_len = 0; h_sorted = true } in
+    Hashtbl.add t.hists name h;
+    h
+
+let hist_observe t name v =
+  let h = hist t name in
+  if h.h_len = Array.length h.h_data then begin
+    let bigger = Array.make (2 * h.h_len) 0.0 in
+    Array.blit h.h_data 0 bigger 0 h.h_len;
+    h.h_data <- bigger
+  end;
+  h.h_data.(h.h_len) <- v;
+  h.h_len <- h.h_len + 1;
+  h.h_sorted <- h.h_sorted && (h.h_len < 2 || h.h_data.(h.h_len - 2) <= v)
+
+let ensure_sorted h =
+  if not h.h_sorted then begin
+    let live = Array.sub h.h_data 0 h.h_len in
+    Array.sort Float.compare live;
+    Array.blit live 0 h.h_data 0 h.h_len;
+    h.h_sorted <- true
+  end
+
+let hist_count t name =
+  match Hashtbl.find_opt t.hists name with Some h -> h.h_len | None -> 0
+
+(* Nearest-rank percentile: guarantees p <= q implies value(p) <= value(q). *)
+let hist_percentile t name p =
+  match Hashtbl.find_opt t.hists name with
+  | None -> 0.0
+  | Some h when h.h_len = 0 -> 0.0
+  | Some h ->
+    ensure_sorted h;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_len)) in
+    let idx = max 0 (min (h.h_len - 1) (rank - 1)) in
+    h.h_data.(idx)
+
+let hist_mean t name =
+  match Hashtbl.find_opt t.hists name with
+  | None -> 0.0
+  | Some h when h.h_len = 0 -> 0.0
+  | Some h ->
+    let sum = ref 0.0 in
+    for i = 0 to h.h_len - 1 do
+      sum := !sum +. h.h_data.(i)
+    done;
+    !sum /. float_of_int h.h_len
+
+type hist_summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  hmax : float;
+}
+
+let hist_summary t name =
+  {
+    n = hist_count t name;
+    mean = hist_mean t name;
+    p50 = hist_percentile t name 50.0;
+    p95 = hist_percentile t name 95.0;
+    p99 = hist_percentile t name 99.0;
+    hmax = hist_percentile t name 100.0;
+  }
+
+let hist_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.hists []
+  |> List.sort String.compare
+
 let reset t =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.series
+  Hashtbl.reset t.series;
+  Hashtbl.reset t.hists
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []

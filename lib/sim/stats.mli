@@ -29,6 +29,41 @@ val count_samples : t -> string -> int
 
 val max_sample : t -> string -> float
 
+(** {1 Histograms}
+
+    Named latency/size distributions with percentile accessors. The RPC
+    transport layer feeds one histogram per request tag
+    (["rpc.latency.<tag>"], ["rpc.bytes.<tag>"]); the benchmark harness
+    reports p50/p95/p99 from them. *)
+
+val hist_observe : t -> string -> float -> unit
+(** Record one sample in the named histogram. *)
+
+val hist_count : t -> string -> int
+(** Samples recorded in the named histogram (0 if never touched). *)
+
+val hist_percentile : t -> string -> float -> float
+(** [hist_percentile t name p] is the nearest-rank [p]-th percentile
+    ([p] in [0..100]) of the named histogram; 0 if empty. Nearest-rank
+    guarantees monotonicity: [p <= q] implies
+    [hist_percentile t name p <= hist_percentile t name q]. *)
+
+val hist_mean : t -> string -> float
+
+type hist_summary = {
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  hmax : float;
+}
+
+val hist_summary : t -> string -> hist_summary
+
+val hist_names : t -> string list
+(** All histogram names, sorted. *)
+
 val reset : t -> unit
 
 val counters : t -> (string * int) list

@@ -3,28 +3,46 @@ type event = { time : float; tag : string; detail : string }
 type t = {
   capacity : int;
   mutable items : event list; (* newest first *)
-  mutable count : int;
+  mutable live : int;         (* length of [items] *)
+  mutable total : int;        (* events ever recorded, including truncated *)
 }
 
-let create ?(capacity = 4096) () = { capacity; items = []; count = 0 }
+let create ?(capacity = 4096) () = { capacity; items = []; live = 0; total = 0 }
 
 let record t ~time ~tag detail =
   t.items <- { time; tag; detail } :: t.items;
-  t.count <- t.count + 1;
-  if t.count > 2 * t.capacity then begin
+  t.live <- t.live + 1;
+  t.total <- t.total + 1;
+  if t.live > 2 * t.capacity then begin
     (* Amortized truncation: keep the newest [capacity] events. *)
     t.items <- List.filteri (fun i _ -> i < t.capacity) t.items;
-    t.count <- t.capacity
+    t.live <- t.capacity
   end
 
+let count t = t.total
+
 let events t =
-  let l = if t.count > t.capacity then List.filteri (fun i _ -> i < t.capacity) t.items else t.items in
+  let l =
+    if t.live > t.capacity then List.filteri (fun i _ -> i < t.capacity) t.items
+    else t.items
+  in
   List.rev l
 
 let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
 
 let clear t =
   t.items <- [];
-  t.count <- 0
+  t.live <- 0;
+  t.total <- 0
+
+(* ---- spans ---- *)
+
+type span = { sp_tag : string; sp_detail : string; sp_start : float }
+
+let span_begin _t ~time ~tag detail = { sp_tag = tag; sp_detail = detail; sp_start = time }
+
+let span_end t ~time span detail =
+  record t ~time ~tag:span.sp_tag
+    (Printf.sprintf "%s %s (%.3f ms)" span.sp_detail detail (time -. span.sp_start))
 
 let pp_event ppf e = Format.fprintf ppf "[%8.4f] %-14s %s" e.time e.tag e.detail

@@ -9,15 +9,41 @@ type t
 type event = { time : float; tag : string; detail : string }
 
 val create : ?capacity:int -> unit -> t
-(** Ring buffer keeping the most recent [capacity] events (default 4096). *)
+(** Ring buffer keeping the most recent [capacity] events (default 4096).
+    Recording never fails, but readers only see the newest [capacity]
+    events: the buffer truncates (amortized) once 2×[capacity] events
+    accumulate. *)
 
 val record : t -> time:float -> tag:string -> string -> unit
 
+val count : t -> int
+(** Total events recorded since creation (or the last {!clear}), including
+    events the ring buffer has already truncated. Use this to assert on
+    totals; {!events} / {!find_all} see at most [capacity] events. *)
+
 val events : t -> event list
-(** Oldest first. *)
+(** Oldest first. Bounded: only the newest [capacity] events are retained,
+    so after more than [capacity] records this is a truncated view. *)
 
 val find_all : t -> tag:string -> event list
+(** Events with the given tag, oldest first. Scans only the retained
+    window of the newest [capacity] events (see {!events}); events older
+    than that have been truncated and are only reflected in {!count}. *)
 
 val clear : t -> unit
+
+(** {1 Spans}
+
+    A span measures one logical operation (an RPC, a protocol round): open
+    it at the start, close it at the end; closing records a single trace
+    event carrying the start detail, the outcome, and the duration. *)
+
+type span
+
+val span_begin : t -> time:float -> tag:string -> string -> span
+
+val span_end : t -> time:float -> span -> string -> unit
+(** [span_end t ~time span outcome] records one event under the span's tag
+    whose detail is ["<begin detail> <outcome> (<duration> ms)"]. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -68,12 +68,17 @@ let make_net n =
 
 let echo_handler _net site = fun ~src:_ req -> Printf.sprintf "%d:%s" site req
 
+let ok what = function
+  | Ok v -> v
+  | Error f -> Alcotest.failf "%s: unexpected failure %a" what Netsim.pp_failure f
+
 let test_call_roundtrip () =
   let e, _, net = make_net 2 in
   Netsim.set_handler net 0 (echo_handler net 0);
   Netsim.set_handler net 1 (echo_handler net 1);
   let resp =
-    Netsim.call net ~src:0 ~dst:1 ~req_bytes:10 ~resp_bytes:String.length "ping"
+    ok "roundtrip"
+      (Netsim.call net ~src:0 ~dst:1 ~req_bytes:10 ~resp_bytes:String.length "ping")
   in
   check Alcotest.string "echoed" "1:ping" resp;
   check Alcotest.int "two messages" 2 (Netsim.messages_sent net);
@@ -83,19 +88,19 @@ let test_local_call_free () =
   let _, _, net = make_net 2 in
   Netsim.set_handler net 0 (echo_handler net 0);
   let resp =
-    Netsim.call net ~src:0 ~dst:0 ~req_bytes:10 ~resp_bytes:String.length "x"
+    ok "local" (Netsim.call net ~src:0 ~dst:0 ~req_bytes:10 ~resp_bytes:String.length "x")
   in
   check Alcotest.string "local result" "0:x" resp;
   check Alcotest.int "no messages for local call" 0 (Netsim.messages_sent net)
 
-let test_unreachable_raises () =
+let test_unreachable_fails () =
   let _, topo, net = make_net 2 in
   Netsim.set_handler net 1 (echo_handler net 1);
   Topology.set_link topo 0 1 false;
   match Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "x" with
-  | _ -> Alcotest.fail "should be unreachable"
-  | exception Netsim.Unreachable (0, 1) -> ()
-  | exception _ -> Alcotest.fail "wrong exception"
+  | Ok _ -> Alcotest.fail "should be unreachable"
+  | Error Netsim.Request_lost -> ()
+  | Error Netsim.Reply_lost -> Alcotest.fail "handler never ran: must be request-lost"
 
 let test_circuit_failure_observer () =
   let _, topo, net = make_net 2 in
@@ -105,9 +110,7 @@ let test_circuit_failure_observer () =
   ignore (Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "a");
   check Alcotest.int "circuit open" 1 (Netsim.circuits_open net);
   Topology.set_link topo 0 1 false;
-  (try
-     ignore (Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "b")
-   with Netsim.Unreachable _ -> ());
+  ignore (Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "b");
   check Alcotest.int "circuit closed" 0 (Netsim.circuits_open net);
   check
     Alcotest.(list (pair int int))
@@ -118,11 +121,39 @@ let test_forced_failure () =
   Netsim.set_handler net 1 (echo_handler net 1);
   Netsim.fail_next_message net ~src:0 ~dst:1;
   (match Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "a" with
-  | _ -> Alcotest.fail "forced loss should fail"
-  | exception Netsim.Unreachable _ -> ());
+  | Ok _ -> Alcotest.fail "forced loss should fail"
+  | Error Netsim.Request_lost -> ()
+  | Error Netsim.Reply_lost -> Alcotest.fail "forced loss is on the request direction");
   (* Only the next message is lost. *)
-  let resp = Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "b" in
+  let resp =
+    ok "after forced loss"
+      (Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "b")
+  in
   check Alcotest.string "subsequent message delivered" "1:b" resp
+
+let test_lost_reply_distinguished () =
+  let _, _, net = make_net 2 in
+  let handled = ref 0 in
+  Netsim.set_handler net 1 (fun ~src:_ req ->
+      incr handled;
+      req);
+  (* Force the reply direction: the handler runs, the response is lost. *)
+  Netsim.fail_next_message net ~src:1 ~dst:0;
+  (match Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "x" with
+  | Ok _ -> Alcotest.fail "lost reply should fail"
+  | Error Netsim.Reply_lost -> ()
+  | Error Netsim.Request_lost -> Alcotest.fail "request was delivered");
+  check Alcotest.int "handler ran exactly once" 1 !handled
+
+let test_send_error_counted () =
+  let e, _, net = make_net 2 in
+  Netsim.set_handler net 1 (fun ~src:_ req -> req);
+  Netsim.set_error_classifier net (fun resp -> String.equal resp "ERR");
+  Netsim.send net ~src:0 ~dst:1 ~bytes:4 "ERR";
+  Netsim.send net ~src:0 ~dst:1 ~bytes:4 "fine";
+  ignore (Engine.run_until_idle e);
+  check Alcotest.int "one discarded error response" 1
+    (Sim.Stats.get (Engine.stats e) "net.send.err")
 
 let test_send_async () =
   let e, _, net = make_net 2 in
@@ -153,8 +184,8 @@ let test_drop_probability () =
   Netsim.set_handler net 1 (echo_handler net 1);
   Netsim.set_drop_probability net 1.0;
   match Netsim.call net ~src:0 ~dst:1 ~req_bytes:1 ~resp_bytes:String.length "x" with
-  | _ -> Alcotest.fail "drop probability 1 should lose everything"
-  | exception Netsim.Unreachable _ -> ()
+  | Ok _ -> Alcotest.fail "drop probability 1 should lose everything"
+  | Error _ -> ()
 
 let test_latency_model () =
   let lat = Latency.default in
@@ -179,7 +210,9 @@ let () =
         [
           Alcotest.test_case "call roundtrip" `Quick test_call_roundtrip;
           Alcotest.test_case "local call free" `Quick test_local_call_free;
-          Alcotest.test_case "unreachable" `Quick test_unreachable_raises;
+          Alcotest.test_case "unreachable" `Quick test_unreachable_fails;
+          Alcotest.test_case "lost reply distinguished" `Quick test_lost_reply_distinguished;
+          Alcotest.test_case "send error counted" `Quick test_send_error_counted;
           Alcotest.test_case "circuit failure observer" `Quick test_circuit_failure_observer;
           Alcotest.test_case "forced failure" `Quick test_forced_failure;
           Alcotest.test_case "async send" `Quick test_send_async;
