@@ -1,4 +1,4 @@
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench check lint fmt clean
 
 all: build
 
@@ -11,10 +11,23 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Everything a change must pass before review: build, tests, and (when
-# ocamlformat is installed) formatting.
-check:
-	dune build
+# Warning-as-error gate: a cold build must produce no compiler output at
+# all. dune only prints warnings when it (re)compiles, so the gate cleans
+# first; any surviving warning fails the target.
+lint:
+	@dune clean
+	@out=$$(dune build 2>&1); \
+	if [ -n "$$out" ]; then \
+		printf '%s\n' "$$out"; \
+		echo "lint: FAIL (build is not warning-clean)"; \
+		exit 1; \
+	else \
+		echo "lint: OK (cold build is warning-clean)"; \
+	fi
+
+# Everything a change must pass before review: warning-clean build, tests,
+# and (when ocamlformat is installed) formatting.
+check: lint
 	dune runtest
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		dune build @fmt; \

@@ -53,6 +53,27 @@ let rpc_latency_table ?(title = "per-tag RPC latency (simulated ms)") stats =
   if rows <> [] then
     table ~title ~header:[ "tag"; "calls"; "p50"; "p95"; "p99"; "max" ] rows
 
+(* Buffer-cache hit/miss/eviction counters ("cache.<tier>.hit" etc.) as a
+   per-tier table with hit ratios. *)
+let cache_table ?(title = "buffer-cache effectiveness") stats =
+  let rows =
+    List.filter_map
+      (fun tier ->
+        let get what = Sim.Stats.get stats (Printf.sprintf "cache.%s.%s" tier what) in
+        let hits = get "hit" and misses = get "miss" and evicts = get "evict" in
+        let total = hits + misses in
+        if total = 0 && evicts = 0 then None
+        else
+          Some
+            [ tier; i hits; i misses; i evicts;
+              (if total = 0 then "-"
+               else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int total));
+            ])
+      [ "us"; "ss" ]
+  in
+  if rows <> [] then
+    table ~title ~header:[ "tier"; "hits"; "misses"; "evictions"; "hit ratio" ] rows
+
 let section name what =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" name;

@@ -27,6 +27,12 @@ let handle k ~src (req : Proto.req) : Proto.resp =
     | Proto.Commit_notify
         { gf; vv; meta_only = _; modified; origin; fresh; deleted; designate; replicas }
       ->
+      (* A new committed version exists: buffered pages of any other
+         version of this file can never hit again — drop them from both
+         cache tiers by (file, version) prefix. *)
+      let stale (g, _, v) = Gfile.equal g gf && not (String.equal v (vv_key vv)) in
+      Cache.invalidate_if k.us_cache stale;
+      Cache.invalidate_if k.ss_cache stale;
       if (fg_info k gf.Gfile.fg).css_site = k.site then
         Css.handle_commit_notify ~replicas k gf ~origin ~vv ~deleted;
       if fresh && not (Net.Site.equal origin k.site) then

@@ -16,6 +16,12 @@ type t = Ktypes.t
 
 let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_config)
     () =
+  let stats = Sim.Engine.stats engine in
+  let mk_cache counter ~capacity =
+    Storage.Cache.create
+      ~on_evict:(fun _ -> Sim.Stats.incr stats counter)
+      ~capacity:(max 1 capacity) ()
+  in
   let k =
     {
       site;
@@ -30,7 +36,8 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
       open_files = Hashtbl.create 64;
       ss_opens = Hashtbl.create 64;
       ss_slots = Hashtbl.create 64;
-      us_cache = Storage.Cache.create ~capacity:config.cache_capacity;
+      us_cache = mk_cache "cache.us.evict" ~capacity:config.us_cache_pages;
+      ss_cache = mk_cache "cache.ss.evict" ~capacity:config.ss_cache_pages;
       prop_pending = Gfile.Set.empty;
       prop_queue = Queue.create ();
       shared_fds = Hashtbl.create 32;
@@ -393,6 +400,9 @@ let handle_site_failure k dead =
 let cache_stats k =
   (Storage.Cache.hits k.us_cache, Storage.Cache.misses k.us_cache)
 
+let ss_cache_stats k =
+  (Storage.Cache.hits k.ss_cache, Storage.Cache.misses k.ss_cache)
+
 (* ---- crash and restart ---- *)
 
 (* A crash destroys all volatile state: incore inodes, open shadow
@@ -414,6 +424,7 @@ let crash k =
   Hashtbl.reset k.procs;
   Hashtbl.reset k.pipe_bufs;
   Storage.Cache.clear k.us_cache;
+  Storage.Cache.clear k.ss_cache;
   Queue.clear k.prop_queue;
   k.prop_pending <- Gfile.Set.empty;
   k.site_table <- [ k.site ];

@@ -173,3 +173,6 @@ val restart : t -> int
 
 val cache_stats : t -> int * int
 (** US page-cache (hits, misses). *)
+
+val ss_cache_stats : t -> int * int
+(** SS buffer-cache (hits, misses). *)

@@ -24,12 +24,21 @@ let () =
 type config = {
   readahead : bool;          (* one-page readahead on sequential reads (2.3.3) *)
   use_cache : bool;          (* cache remote pages at the US *)
-  cache_capacity : int;      (* US page-cache entries *)
+  us_cache_pages : int;      (* US page-cache entries *)
+  ss_cache_pages : int;      (* SS buffer-cache entries; 0 disables the tier *)
+  cache_retention : bool;    (* keep version-keyed US pages across opens *)
   propagation_delay : float; (* ms before the kernel propagation process runs a pull *)
 }
 
 let default_config =
-  { readahead = true; use_cache = true; cache_capacity = 256; propagation_delay = 2.0 }
+  {
+    readahead = true;
+    use_cache = true;
+    us_cache_pages = 256;
+    ss_cache_pages = 512;
+    cache_retention = true;
+    propagation_delay = 2.0;
+  }
 
 (* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
 
@@ -133,6 +142,8 @@ type t = {
   ss_opens : (Gfile.t, ss_open) Hashtbl.t;       (* SS-side serving state *)
   ss_slots : (int, Gfile.t) Hashtbl.t;           (* incore-inode slot -> file *)
   us_cache : (Gfile.t * int * string) Storage.Cache.t; (* (file, lpage, vv) -> page *)
+  ss_cache : (Gfile.t * int * string) Storage.Cache.t;
+  (* SS buffer cache fronting pack/disk page reads, same version-keying *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
   (* file, target version, modified pages ([] = whole file), retries left *)
@@ -179,6 +190,12 @@ let local_pack_exn k fg =
   | None -> err Proto.Eio "site %a has no pack for filegroup %d" Site.pp k.site fg
 
 let in_partition k site = List.mem site k.site_table
+
+(* Cache keys carry the version vector rendered to a string, so a new
+   committed version naturally misses (coherence for free). *)
+let vv_key vv = Vvec.to_string vv
+
+let ss_cache_enabled k = k.config.ss_cache_pages > 0
 
 let fresh_serial k =
   let n = k.next_serial in

@@ -22,7 +22,9 @@ val err : Proto.errno -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 type config = {
   readahead : bool;          (** one-page readahead on sequential reads (§2.3.3) *)
   use_cache : bool;          (** buffer remote pages at the US *)
-  cache_capacity : int;      (** US page-cache entries *)
+  us_cache_pages : int;      (** US page-cache entries *)
+  ss_cache_pages : int;      (** SS buffer-cache entries; 0 disables the tier *)
+  cache_retention : bool;    (** keep version-keyed US pages across opens *)
   propagation_delay : float; (** ms before the propagation kernel process runs *)
 }
 
@@ -137,6 +139,8 @@ type t = {
   ss_slots : (int, Gfile.t) Hashtbl.t; (** incore-inode slot → file *)
   us_cache : (Gfile.t * int * string) Storage.Cache.t;
       (** (file, page, version) → page: stale versions miss naturally *)
+  ss_cache : (Gfile.t * int * string) Storage.Cache.t;
+      (** SS buffer cache fronting pack/disk page reads, same keying *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
       (** file, target version, modified pages ([] = all), retries left *)
@@ -181,6 +185,13 @@ val local_pack : t -> int -> Storage.Pack.t option
 val local_pack_exn : t -> int -> Storage.Pack.t
 
 val in_partition : t -> Site.t -> bool
+
+val vv_key : Vvec.t -> string
+(** The version vector as a cache-key component: a new committed version
+    changes the key, so stale buffered pages miss naturally. *)
+
+val ss_cache_enabled : t -> bool
+(** Whether the SS-side buffer-cache tier is on ([ss_cache_pages > 0]). *)
 
 val fresh_serial : t -> int
 

@@ -12,6 +12,13 @@ module Inode = Storage.Inode
 module Pack = Storage.Pack
 module Shadow = Storage.Shadow
 module Page = Storage.Page
+module Cache = Storage.Cache
+
+(* A pull commits through the shadow mechanism directly (below the SS
+   handlers), so it must drop the superseded buffered pages itself. *)
+let invalidate_stale k gf ~vv =
+  Cache.invalidate_if k.ss_cache
+    (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key vv)))
 
 (* Is [local] exactly the version [target] was derived from by one commit at
    [origin]? Then pulling just the modified pages is sufficient. *)
@@ -51,6 +58,7 @@ let apply_delete k pack gf ~vv =
       Shadow.mark_deleted session ~time:(now k);
       charge_disk_write k;
       Shadow.commit session ~vv ~mtime:(now k);
+      invalidate_stale k gf ~vv;
       record k ~tag:"prop.delete" (Gfile.to_string gf);
       report_to_css k gf vv ~deleted:true
     end
@@ -117,6 +125,7 @@ let pull_from k pack gf ~source ~modified =
            if info.Proto.i_size > (Shadow.incore session).Inode.size then
              (Shadow.incore session).Inode.size <- info.Proto.i_size;
            Shadow.commit session ~vv:info.Proto.i_vv ~mtime:info.Proto.i_mtime;
+           invalidate_stale k gf ~vv:info.Proto.i_vv;
            record k ~tag:"prop.pull"
              (Format.asprintf "%a <- %a vv=%a (%d pages)" Gfile.pp gf Site.pp
                 source Vvec.pp info.Proto.i_vv (List.length pages_to_pull))

@@ -10,6 +10,7 @@ module Inode = Storage.Inode
 module Pack = Storage.Pack
 module Shadow = Storage.Shadow
 module Page = Storage.Page
+module Cache = Storage.Cache
 
 let find_open = ss_find_open
 
@@ -45,15 +46,33 @@ let handle_storage_req k gf ~vv ~us ~others =
           { accept = true; info = Some (Proto.info_of_inode inode); slot = s.s_slot }
       end)
 
-let session_or_inode_page k pack gf lpage =
-  match find_open k gf with
-  | Some { s_shadow = Some session; _ } -> Shadow.read_page session lpage
-  | Some { s_shadow = None; _ } | None ->
-    let inode = Pack.get_inode pack gf.Gfile.ino in
+(* A committed page through the SS buffer cache: keyed by the inode's
+   version vector, so a page cached before a commit misses afterwards —
+   the cache can never serve a stale version. A hit skips the disk. *)
+let cached_pack_page k pack gf (inode : Inode.t) lpage =
+  if not (ss_cache_enabled k) then begin
+    charge_disk_read k;
     Pack.read_page pack inode lpage
+  end
+  else begin
+    let key = (gf, lpage, vv_key inode.Inode.vv) in
+    match Cache.find k.ss_cache key with
+    | Some page ->
+      Sim.Stats.incr (stats k) "cache.ss.hit";
+      page
+    | None ->
+      Sim.Stats.incr (stats k) "cache.ss.miss";
+      charge_disk_read k;
+      let page = Pack.read_page pack inode lpage in
+      Cache.insert k.ss_cache key page;
+      page
+  end
 
 (* Serve one page (the network read protocol, section 2.3.3). The guess
-   locates the incore inode without a lookup when it is still valid. *)
+   locates the incore inode without a lookup when it is still valid. An
+   open shadow session bypasses the buffer cache: readers of a file being
+   written must see the uncommitted session pages (Unix shared-file
+   semantics). *)
 let handle_read_page ?(guess = 0) k gf lpage =
   (match Hashtbl.find_opt k.ss_slots guess with
   | Some g when Gfile.equal g gf -> Sim.Stats.incr (stats k) "ss.guess.hit"
@@ -64,12 +83,13 @@ let handle_read_page ?(guess = 0) k gf lpage =
     match Pack.find_inode pack gf.Gfile.ino with
     | None -> Proto.R_err Proto.Enoent
     | Some inode ->
-      charge_disk_read k;
-      let page = session_or_inode_page k pack gf lpage in
-      let size =
+      let page, size =
         match find_open k gf with
-        | Some { s_shadow = Some session; _ } -> (Shadow.incore session).Inode.size
-        | Some { s_shadow = None; _ } | None -> inode.Inode.size
+        | Some { s_shadow = Some session; _ } ->
+          charge_disk_read k;
+          (Shadow.read_page session lpage, (Shadow.incore session).Inode.size)
+        | Some { s_shadow = None; _ } | None ->
+          (cached_pack_page k pack gf inode lpage, inode.Inode.size)
       in
       let remaining = size - (lpage * Page.size) in
       let len = max 0 (min Page.size remaining) in
@@ -108,6 +128,9 @@ let handle_write_page k ~src gf ~lpage ~whole ~off ~data =
       charge_disk_write k;
       if whole then Shadow.write_page session ~lpage (Page.of_string data)
       else Shadow.patch_page session ~lpage ~off data;
+      (* Write-through: the buffered committed copy of this page is no
+         longer what a reader should start from. *)
+      Cache.invalidate_if k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
       invalidate_others k gf ~writer:src lpage;
       Proto.R_ok)
 
@@ -142,6 +165,7 @@ let handle_commit ?force_vv k gf ~abort ~delete =
       | Some session -> Shadow.abort session
       | None -> ());
       s.s_shadow <- None;
+      Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
       record k ~tag:"ss.abort" (Gfile.to_string gf);
       let vv =
         match Pack.find_inode pack gf.Gfile.ino with
@@ -167,6 +191,10 @@ let handle_commit ?force_vv k gf ~abort ~delete =
       charge_disk_write k;
       Shadow.commit session ~vv ~mtime:(now k);
       s.s_shadow <- None;
+      (* The previous version's buffered pages are dead weight now (the new
+         version keys differently); drop them. *)
+      Cache.invalidate_if k.ss_cache
+        (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key vv)));
       record k ~tag:"ss.commit"
         (Format.asprintf "%a vv=%a%s" Gfile.pp gf Vvec.pp vv
            (if delete then " delete" else ""));
@@ -268,6 +296,10 @@ let metadata_commit k gf mutate =
       inode.Inode.vv <- Vvec.bump inode.Inode.vv k.site;
       inode.Inode.mtime <- now k;
       charge_disk_write k;
+      (* The data pages did not change, but they are keyed under the old
+         version and can never hit again; free the space. *)
+      Cache.invalidate_if k.ss_cache
+        (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key inode.Inode.vv)));
       let fi = fg_info k gf.Gfile.fg in
       let message =
         Proto.Commit_notify
@@ -324,6 +356,7 @@ let handle_reclaim k gf =
   (match local_pack k gf.Gfile.fg with
   | Some pack -> Pack.remove_inode pack gf.Gfile.ino
   | None -> ());
+  Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
   Proto.R_ok
 
 (* ---- named pipes (section 2.4.2): the fifo's single SS serializes ---- *)

@@ -128,9 +128,39 @@ let acquire k fd =
   end
 
 (* Recovery hook: a site left the partition. Reclaim tokens it held (the
-   offset reverts to the manager's last known value) and drop its fd copies
-   from manager bookkeeping. *)
+   offset reverts to the manager's last known value) and drop descriptor
+   entries whose only user processes lived at the dead site — e.g. a
+   process that exec'd away and then died with its site. No surviving
+   local process references them, so no close will ever arrive; without
+   the sweep they leak in [shared_fds] forever. *)
 let handle_site_failure k dead =
+  let referenced = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ p ->
+      match p.p_status with
+      | Running -> Hashtbl.iter (fun _ key -> Hashtbl.replace referenced key ()) p.p_fds
+      | Exited _ -> ())
+    k.procs;
+  let stranded =
+    Hashtbl.fold
+      (fun key fd acc ->
+        if
+          Site.equal (manager_of key) k.site
+          && Site.equal fd.f_holder dead
+          && not (Hashtbl.mem referenced key)
+        then (key, fd) :: acc
+        else acc)
+      k.shared_fds []
+  in
+  List.iter
+    (fun (key, fd) ->
+      (match fd.f_ofile with
+      | Some o -> ( try Us.close k o with Error _ -> ())
+      | None -> ());
+      Hashtbl.remove k.shared_fds key;
+      record k ~tag:"cleanup"
+        (Printf.sprintf "dropped stranded fd (%d,%d)" (fst key) (snd key)))
+    stranded;
   Hashtbl.iter
     (fun _ fd ->
       if Site.equal (manager_of fd.f_key) k.site && Site.equal fd.f_holder dead then begin

@@ -12,8 +12,6 @@ module Pack = Storage.Pack
 module Page = Storage.Page
 module Cache = Storage.Cache
 
-let vv_key vv = Vvec.to_string vv
-
 let local_vv_of k gf =
   match local_pack k gf.Gfile.fg with
   | None -> None
@@ -56,7 +54,9 @@ let open_gf ?(shared = false) k gf mode =
         o_info = info;
         o_nocache = nocache;
         o_dirty = false;
-        o_last_lpage = -2;
+        (* -1 so a scan starting at page 0 counts as sequential and primes
+           the readahead window immediately. *)
+        o_last_lpage = -1;
         o_guess = slot;
         o_closed = false;
       }
@@ -85,21 +85,25 @@ let read_page k o lpage =
   charge_cpu_page k;
   let sequential = lpage = o.o_last_lpage + 1 in
   o.o_last_lpage <- lpage;
-  let deliver data eof =
-    if k.config.readahead && sequential && not eof then begin
-      (* Schedule the readahead asynchronously; it fills the cache. *)
+  (* Schedule the readahead asynchronously; it fills the cache. Cache hits
+     must extend the window too, or sequential reads degrade to
+     miss/hit/miss/hit once the readahead stream is one page deep. *)
+  let schedule_readahead ~eof =
+    if k.config.readahead && sequential && (not eof) && cacheable k o then begin
       let next = lpage + 1 in
-      if cacheable k o && Cache.find k.us_cache (cache_key o next) = None then
+      if not (Cache.mem k.us_cache (cache_key o next)) then
         Engine.schedule k.engine ~delay:0.01 (fun () ->
-            if (not o.o_closed) && k.alive then begin
+            if
+              (not o.o_closed) && k.alive
+              && not (Cache.mem k.us_cache (cache_key o next))
+            then begin
               match fetch_page k o next with
               | data, _ ->
                 Sim.Stats.incr (stats k) "us.readahead";
                 Cache.insert k.us_cache (cache_key o next) (Page.of_string data)
               | exception Error _ -> ()
             end)
-    end;
-    (data, eof)
+    end
   in
   if Site.equal o.o_ss k.site then begin
     (* Local access: same path cost as conventional Unix. *)
@@ -112,18 +116,24 @@ let read_page k o lpage =
   else if cacheable k o then begin
     match Cache.find k.us_cache (cache_key o lpage) with
     | Some page ->
+      Sim.Stats.incr (stats k) "cache.us.hit";
       let size = o.o_info.Proto.i_size in
       let remaining = size - (lpage * Page.size) in
       let len = max 0 (min Page.size remaining) in
-      (Page.sub page 0 len, (lpage + 1) * Page.size >= size)
+      let eof = (lpage + 1) * Page.size >= size in
+      schedule_readahead ~eof;
+      (Page.sub page 0 len, eof)
     | None ->
+      Sim.Stats.incr (stats k) "cache.us.miss";
       let data, eof = fetch_page k o lpage in
       Cache.insert k.us_cache (cache_key o lpage) (Page.of_string data);
-      deliver data eof
+      schedule_readahead ~eof;
+      (data, eof)
   end
   else begin
     let data, eof = fetch_page k o lpage in
-    deliver data eof
+    schedule_readahead ~eof;
+    (data, eof)
   end
 
 (* Whole-body read, following the SS's eof indications. *)
@@ -147,11 +157,17 @@ let read_bytes k o ~off ~len =
         let lpage = abs / Page.size in
         let poff = abs mod Page.size in
         let data, eof = read_page k o lpage in
-        if poff < String.length data then begin
-          let n = min remaining (String.length data - poff) in
-          Buffer.add_string buf (String.sub data poff n);
-          if (not eof) && n = String.length data - poff then
-            loop (abs + n) (remaining - n)
+        let avail = max 0 (String.length data - poff) in
+        let take = min remaining avail in
+        if take > 0 then Buffer.add_string buf (String.sub data poff take);
+        if not eof then begin
+          (* A short or sparse mid-file page reads as zeroes out to the page
+             boundary; keep going into the next page rather than silently
+             returning short data. *)
+          let page_room = Page.size - poff in
+          let gap = min (remaining - take) (page_room - avail) in
+          if gap > 0 then Buffer.add_string buf (String.make gap '\000');
+          loop (abs + take + gap) (remaining - take - gap)
         end
       end
     in
@@ -249,6 +265,10 @@ let close k o =
         (* A close that cannot reach the SS is handled by cleanup. *)
     in
     (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ());
+    (* Without retention the buffered pages die with the open; with it they
+       stay, version-keyed, so a re-open of the same version hits warm. *)
+    if not k.config.cache_retention then
+      Cache.invalidate_if k.us_cache (fun (g, _, _) -> Gfile.equal g o.o_gf);
     record k ~tag:"us.close" (Gfile.to_string o.o_gf)
   end
 

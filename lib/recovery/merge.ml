@@ -174,18 +174,21 @@ let run_initiator ?(policy = default_policy) ?(gateways = []) k ~all_sites =
   List.iter (fun (s, _, fgs) -> List.iter (fun fg -> add_holder fg s) fgs) !respondents;
   let all_fgs = List.map (fun fi -> fi.fg) k.fg_table in
   let css_map =
-    List.map
+    List.filter_map
       (fun fg ->
         let candidates =
           Option.value (Hashtbl.find_opt holders fg) ~default:[]
           |> List.filter (fun s -> List.mem s members)
         in
-        let css =
-          match List.sort Site.compare candidates with
-          | s :: _ -> s
-          | [] -> List.hd members
-        in
-        (fg, css))
+        match List.sort Site.compare candidates with
+        | s :: _ -> Some (fg, s)
+        | [] ->
+          (* No member of the new partition holds a pack: the filegroup is
+             unavailable here. Electing a packless synchronization site
+             would only manufacture ghost state; leave the filegroup out
+             and let a later merge that includes a pack holder assign one. *)
+          record k ~tag:"merge.unavailable" (Printf.sprintf "fg %d: no pack holder" fg);
+          None)
       all_fgs
   in
   (* Declare the new partition and broadcast its composition. *)

@@ -152,6 +152,113 @@ let test_cache_keyed_by_version () =
   check Alcotest.string "fresh read after update" "new contents"
     (Kernel.read_file k3 p3 "/c")
 
+(* Regression: a cache hit must extend the readahead window too. With the
+   old code only misses scheduled readahead, so a sequential scan settled
+   into miss/hit/miss/hit — every other page paid the network round trip. *)
+let test_readahead_on_cache_hit () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/seq6");
+  Kernel.write_file k0 p0 "/seq6" (String.make (6 * Storage.Page.size) 's');
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let o = Us.open_gf k3 (gf_of k3 "/seq6") Proto.Mode_read in
+  let _ = Us.read_page k3 o 0 in
+  ignore (World.settle w);
+  (* Every subsequent page was prefetched before we asked for it: no demand
+     read may cost a message, no matter how deep the scan goes. *)
+  for lpage = 1 to 5 do
+    let snap = Stats.snapshot (stats w) in
+    let _ = Us.read_page k3 o lpage in
+    check Alcotest.int (Printf.sprintf "page %d served from cache" lpage) 0
+      (msg_delta w snap);
+    ignore (World.settle w)
+  done;
+  (* Pages 1..5 were each readahead targets exactly once (page 5 is eof). *)
+  check Alcotest.int "readahead fired on every sequential page" 5
+    (Stats.get (stats w) "us.readahead");
+  Us.close k3 o;
+  ignore (World.settle w)
+
+(* Version-keyed pages survive close and serve a re-open of the unchanged
+   version; a new committed version both misses naturally and has its stale
+   entries dropped by the Commit_notify prefix invalidation. *)
+let test_cross_open_cache_retention () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.creat k0 p0 "/warm");
+  let body = String.make (2 * Storage.Page.size) 'w' in
+  Kernel.write_file k0 p0 "/warm" body;
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 in
+  let gf = gf_of k3 "/warm" in
+  let o1 = Us.open_gf k3 gf Proto.Mode_read in
+  check Alcotest.string "first open reads through" body (Us.read_all k3 o1);
+  Us.close k3 o1;
+  ignore (World.settle w);
+  check Alcotest.bool "pages retained across close" true
+    (Storage.Cache.length k3.K.us_cache > 0);
+  let o2 = Us.open_gf k3 gf Proto.Mode_read in
+  let snap = Stats.snapshot (stats w) in
+  check Alcotest.string "re-open served warm" body (Us.read_all k3 o2);
+  check Alcotest.int "no page traffic on re-open" 0 (msg_delta w snap);
+  Us.close k3 o2;
+  ignore (World.settle w);
+  (* A new committed version must not be masked by the warm pages. *)
+  Kernel.write_file k0 p0 "/warm" "fresh";
+  ignore (World.settle w);
+  let p3 = World.proc w 3 in
+  check Alcotest.string "new version read through" "fresh"
+    (Kernel.read_file k3 p3 "/warm");
+  (* The Commit_notify handler drops every entry of the file that is not
+     at the announced version, from both cache tiers. *)
+  let vv = (Us.stat_gf k0 gf).Proto.i_vv in
+  Storage.Cache.insert k3.K.us_cache (gf, 0, K.vv_key vv) (Storage.Page.of_string "cur");
+  Storage.Cache.insert k3.K.us_cache (gf, 1, "stale-vv") (Storage.Page.of_string "old");
+  Storage.Cache.insert k3.K.ss_cache (gf, 2, "stale-vv") (Storage.Page.of_string "old");
+  let notify =
+    Proto.Commit_notify
+      { gf; vv; meta_only = false; modified = []; origin = 0; fresh = false;
+        deleted = false; designate = false; replicas = [] }
+  in
+  ignore (k3.K.dispatch 0 notify);
+  check Alcotest.bool "current version kept" true
+    (Storage.Cache.mem k3.K.us_cache (gf, 0, K.vv_key vv));
+  check Alcotest.bool "stale US entry dropped" false
+    (Storage.Cache.mem k3.K.us_cache (gf, 1, "stale-vv"));
+  check Alcotest.bool "stale SS entry dropped" false
+    (Storage.Cache.mem k3.K.ss_cache (gf, 2, "stale-vv"))
+
+(* Regression: a short mid-file page (a lying or sparse SS) used to stop
+   the read_bytes loop, silently returning short data. It must read as
+   zeroes to the page boundary and continue into the next page. *)
+let test_read_bytes_zero_fills_short_page () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let ps = Storage.Page.size in
+  ignore (Kernel.creat k0 p0 "/sparse");
+  Kernel.write_file k0 p0 "/sparse"
+    (String.make ps 'A' ^ String.make ps 'B' ^ String.make ps 'C');
+  ignore (World.settle w);
+  (* Serve page 1 short and non-eof; everything else takes the normal path. *)
+  Net.Netsim.set_handler (World.net w) 0 (fun ~src req ->
+      match req with
+      | Proto.Read_page { lpage = 1; _ } -> Proto.R_page { data = "XY"; eof = false }
+      | _ -> k0.K.dispatch src req);
+  let k3 = World.kernel w 3 in
+  let o = Us.open_gf k3 (gf_of k3 "/sparse") Proto.Mode_read in
+  let data = Us.read_bytes k3 o ~off:0 ~len:(3 * ps) in
+  check Alcotest.int "full length returned" (3 * ps) (String.length data);
+  check Alcotest.string "page 0 intact" (String.make ps 'A') (String.sub data 0 ps);
+  check Alcotest.string "short page prefix" "XY" (String.sub data ps 2);
+  check Alcotest.string "zero fill to page boundary"
+    (String.make (ps - 2) '\000')
+    (String.sub data (ps + 2) (ps - 2));
+  check Alcotest.string "next page reached" (String.make ps 'C')
+    (String.sub data (2 * ps) ps);
+  Us.close k3 o;
+  ignore (World.settle w)
+
 (* ---- write / commit / abort ---- *)
 
 let test_commit_visibility () =
@@ -470,6 +577,10 @@ let () =
             test_remote_read_two_messages_per_page;
           Alcotest.test_case "readahead" `Quick test_readahead_fills_cache;
           Alcotest.test_case "cache keyed by version" `Quick test_cache_keyed_by_version;
+          Alcotest.test_case "readahead on cache hit" `Quick test_readahead_on_cache_hit;
+          Alcotest.test_case "cross-open retention" `Quick test_cross_open_cache_retention;
+          Alcotest.test_case "read_bytes zero fill" `Quick
+            test_read_bytes_zero_fills_short_page;
         ] );
       ( "write-commit",
         [

@@ -233,7 +233,7 @@ let test_fsck_detects_double_allocation () =
     (List.exists (function Pack.Double_allocated _ -> true | _ -> false) errs)
 
 let test_cache_hit_miss () =
-  let c = Cache.create ~capacity:4 in
+  let c = Cache.create ~capacity:4 () in
   check Alcotest.bool "initial miss" true (Cache.find c "a" = None);
   Cache.insert c "a" (Page.of_string "A");
   (match Cache.find c "a" with
@@ -243,7 +243,7 @@ let test_cache_hit_miss () =
   check Alcotest.int "misses" 1 (Cache.misses c)
 
 let test_cache_lru_eviction () =
-  let c = Cache.create ~capacity:2 in
+  let c = Cache.create ~capacity:2 () in
   Cache.insert c "a" (Page.of_string "A");
   Cache.insert c "b" (Page.of_string "B");
   ignore (Cache.find c "a");
@@ -254,13 +254,60 @@ let test_cache_lru_eviction () =
   check Alcotest.bool "c kept" true (Cache.find c "c" <> None)
 
 let test_cache_invalidate_if () =
-  let c = Cache.create ~capacity:8 in
+  let c = Cache.create ~capacity:8 () in
   Cache.insert c ("f", 0) (Page.of_string "x");
   Cache.insert c ("f", 1) (Page.of_string "y");
   Cache.insert c ("g", 0) (Page.of_string "z");
   Cache.invalidate_if c (fun (name, _) -> name = "f");
   check Alcotest.int "only g left" 1 (Cache.length c);
   check Alcotest.bool "g survives" true (Cache.find c ("g", 0) <> None)
+
+let test_cache_lru_order () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.insert c "a" (Page.of_string "A");
+  Cache.insert c "b" (Page.of_string "B");
+  Cache.insert c "c" (Page.of_string "C");
+  check Alcotest.(list string) "insertion order" [ "c"; "b"; "a" ] (Cache.keys_mru c);
+  ignore (Cache.find c "a");
+  check Alcotest.(list string) "hit moves to front" [ "a"; "c"; "b" ] (Cache.keys_mru c);
+  Cache.insert c "b" (Page.of_string "B2");
+  check Alcotest.(list string) "re-insert touches" [ "b"; "a"; "c" ] (Cache.keys_mru c);
+  check Alcotest.int "no eviction on refresh" 3 (Cache.length c);
+  Cache.invalidate c "a";
+  check Alcotest.(list string) "invalidate unlinks" [ "b"; "c" ] (Cache.keys_mru c)
+
+let test_cache_eviction_counters () =
+  let evicted = ref [] in
+  let c = Cache.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:2 () in
+  Cache.insert c "a" (Page.of_string "A");
+  Cache.insert c "b" (Page.of_string "B");
+  Cache.insert c "c" (Page.of_string "C");
+  (* "a" was the LRU tail and is the capacity victim. *)
+  check Alcotest.(list string) "victim reported" [ "a" ] !evicted;
+  check Alcotest.int "evictions counted" 1 (Cache.evictions c);
+  Cache.invalidate c "b";
+  check Alcotest.(list string) "invalidation is not an eviction" [ "a" ] !evicted;
+  check Alcotest.int "evictions unchanged" 1 (Cache.evictions c);
+  check Alcotest.bool "mem does not count" true (Cache.mem c "c");
+  check Alcotest.bool "mem miss does not count" false (Cache.mem c "zz");
+  check Alcotest.int "no hits from mem" 0 (Cache.hits c);
+  check Alcotest.int "no misses from mem" 0 (Cache.misses c)
+
+(* The list/table structure must stay consistent over a long mixed
+   workload (and complete fast: every operation here is O(1)). *)
+let test_cache_churn () =
+  let c = Cache.create ~capacity:64 () in
+  for i = 0 to 9_999 do
+    let key = i mod 200 in
+    (match Cache.find c key with
+    | Some _ -> ()
+    | None -> Cache.insert c key (Page.of_string (string_of_int key)));
+    if i mod 17 = 0 then Cache.invalidate c ((i * 7) mod 200)
+  done;
+  check Alcotest.bool "bounded" true (Cache.length c <= 64);
+  check Alcotest.int "list mirrors table" (Cache.length c)
+    (List.length (Cache.keys_mru c));
+  check Alcotest.int "accounting closes" 10_000 (Cache.hits c + Cache.misses c)
 
 let () =
   Alcotest.run "storage"
@@ -304,5 +351,8 @@ let () =
           Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "invalidate_if" `Quick test_cache_invalidate_if;
+          Alcotest.test_case "lru order" `Quick test_cache_lru_order;
+          Alcotest.test_case "eviction counters" `Quick test_cache_eviction_counters;
+          Alcotest.test_case "churn consistency" `Quick test_cache_churn;
         ] );
     ]
