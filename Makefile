@@ -1,4 +1,4 @@
-.PHONY: all build test bench check lint fmt clean
+.PHONY: all build test bench bench-smoke check lint fmt clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# A fast slice of the harness as a CI gate: the open protocol (E1) and
+# both pathname-resolution experiments (E13 baseline, E19 fast path) must
+# run to completion. Their PASS/FAIL cells are human-read; this asserts
+# the experiments themselves stay runnable.
+bench-smoke:
+	@dune exec bench/main.exe -- e1 e13 e19 > /dev/null
+	@echo "bench-smoke: OK (e1 e13 e19 ran clean)"
 
 # Warning-as-error gate: a cold build must produce no compiler output at
 # all. dune only prints warnings when it (re)compiles, so the gate cleans
@@ -29,6 +37,7 @@ lint:
 # and (when ocamlformat is installed) formatting.
 check: lint
 	dune runtest
+	$(MAKE) bench-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		dune build @fmt; \
 	else \

@@ -24,14 +24,15 @@ module Reconcile = Recovery.Reconcile
 module Dir = Catalog.Dir
 module Mbox = Catalog.Mailbox
 
-let make_world ?(n = 5) ?packs ?(machine_type = fun _ -> "vax") () =
+let make_world ?(n = 5) ?packs ?(machine_type = fun _ -> "vax") ?kconfig () =
   let base = World.default_config ~n_sites:n () in
   let filegroups =
     match packs with
     | None -> base.World.filegroups
     | Some sites -> [ { World.fg = 0; pack_sites = sites; mount_path = None } ]
   in
-  World.create ~config:{ base with World.filegroups; machine_type } ()
+  let kernel_config = Option.value kconfig ~default:base.World.kernel_config in
+  World.create ~config:{ base with World.filegroups; machine_type; kernel_config } ()
 
 let gf_of k path =
   Pathname.resolve_from k ~cwd:(Catalog.Mount.root k.K.mount) ~context:[] path
@@ -742,33 +743,37 @@ let e12 () =
 (* --------------------------------------------------------------- E13 *)
 (* Section 2.3.4: pathname searching cost by depth, local vs remote, and
    the value of the unsynchronized local fast path. *)
+
+(* Build /d1/d2/.../dN/leaf at site 0, numbered from the root downward.
+   Shared with E19, which measures the same trees under the fast paths. *)
+let deep_tree_prepare w depth =
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 1;
+  let rec mk prefix i =
+    if i > depth then begin
+      ignore (Kernel.creat k0 p0 (prefix ^ "/leaf"));
+      Kernel.write_file k0 p0 (prefix ^ "/leaf") "x"
+    end
+    else begin
+      let dir = prefix ^ "/d" ^ string_of_int i in
+      ignore (Kernel.mkdir k0 p0 dir);
+      mk dir (i + 1)
+    end
+  in
+  mk "" 1;
+  ignore (World.settle w)
+
+let deep_tree_path depth =
+  let rec fix acc i =
+    if i > depth then acc ^ "/leaf" else fix (acc ^ "/d" ^ string_of_int i) (i + 1)
+  in
+  fix "" 1
+
 let e13 () =
   Report.section "E13  Pathname searching"
     "per-component internal opens; the local fast path avoids the CSS";
-  let prepare w depth =
-    let k0 = World.kernel w 0 and p0 = World.proc w 0 in
-    Kernel.set_ncopies p0 1;
-    (* /d1/d2/.../dN/leaf, numbered from the root downward. *)
-    let rec mk prefix i =
-      if i > depth then begin
-        ignore (Kernel.creat k0 p0 (prefix ^ "/leaf"));
-        Kernel.write_file k0 p0 (prefix ^ "/leaf") "x"
-      end
-      else begin
-        let dir = prefix ^ "/d" ^ string_of_int i in
-        ignore (Kernel.mkdir k0 p0 dir);
-        mk dir (i + 1)
-      end
-    in
-    mk "" 1;
-    ignore (World.settle w)
-  in
-  let path_of depth =
-    let rec fix acc i =
-      if i > depth then acc ^ "/leaf" else fix (acc ^ "/d" ^ string_of_int i) (i + 1)
-    in
-    fix "" 1
-  in
+  let prepare = deep_tree_prepare in
+  let path_of = deep_tree_path in
   let resolve_cost w site path =
     let k = World.kernel w site in
     let snap = Stats.snapshot (World.stats w) in
@@ -779,8 +784,14 @@ let e13 () =
   let rows =
     List.map
       (fun depth ->
-        (* Packs at site 0 only: site 2 resolves fully remotely. *)
-        let w = make_world ~n:3 ~packs:[ 0 ] () in
+        (* Packs at site 0 only: site 2 resolves fully remotely. The §2.3.4
+           fast paths (name cache, server-side lookup) are pinned off —
+           this experiment is the per-component baseline E19 measures
+           those against. *)
+        let slow =
+          { K.default_config with K.name_cache_entries = 0; remote_lookup = false }
+        in
+        let w = make_world ~n:3 ~packs:[ 0 ] ~kconfig:slow () in
         prepare w depth;
         let path = path_of depth in
         let t_local, m_local = resolve_cost w 0 path in
@@ -1089,12 +1100,87 @@ let e18 () =
   let _, stats_ss = List.nth results 1 in
   Report.cache_table ~title:"cache counters, SS tier only" stats_ss
 
-let all = [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17; e18 ]
+(* --------------------------------------------------------------- E19 *)
+(* Section 2.3.4's unimplemented remedy, implemented: server-side
+   partial-pathname lookup plus the per-site name cache. Same trees and
+   sites as E13; cold is the first remote resolution, warm the second.
+   Each half is ablated independently. *)
+let e19 () =
+  Report.section "E19  Fast pathname resolution"
+    "name cache + partial-pathname lookup vs the E13 per-component walk";
+  let variants =
+    [
+      ("cache + remote lookup", 512, true);
+      ("remote lookup only", 0, true);
+      ("name cache only", 512, false);
+      ("neither (E13 baseline)", 0, false);
+    ]
+  in
+  let full_stats = ref None in
+  let checks = ref [] in
+  let rows =
+    List.concat_map
+      (fun (label, entries, remote) ->
+        List.map
+          (fun depth ->
+            let kconfig =
+              { K.default_config with
+                K.name_cache_entries = entries;
+                remote_lookup = remote;
+              }
+            in
+            (* Packs at site 0 only (also the CSS); site 2 resolves fully
+               remotely, as in E13. *)
+            let w = make_world ~n:3 ~packs:[ 0 ] ~kconfig () in
+            deep_tree_prepare w depth;
+            let path = deep_tree_path depth in
+            let k = World.kernel w 2 in
+            let resolve () =
+              let snap = Stats.snapshot (World.stats w) in
+              let t0 = World.now w in
+              ignore (gf_of k path);
+              (msgs w snap, World.now w -. t0)
+            in
+            let m_cold, t_cold = resolve () in
+            let m_warm, t_warm = resolve () in
+            if entries > 0 && remote then begin
+              (* The headline claim: one round trip cold, free warm. *)
+              checks := (depth, m_cold, m_warm) :: !checks;
+              if depth = 6 then full_stats := Some (World.stats w)
+            end;
+            [ label; Report.i depth; Report.i m_cold; Report.f2 t_cold;
+              Report.i m_warm; Report.f2 t_warm ])
+          [ 1; 3; 6 ])
+      variants
+  in
+  Report.table
+    ~title:"site 2 resolves /d1/.../dN/leaf stored only at site 0, twice"
+    ~header:[ "configuration"; "depth"; "cold msgs"; "cold ms"; "warm msgs"; "warm ms" ]
+    rows;
+  List.iter
+    (fun (depth, m_cold, m_warm) ->
+      Printf.printf
+        "depth %d with both halves on: cold %d msgs (<= 10), warm %d (= 0): %s\n"
+        depth m_cold m_warm
+        (Report.check (m_cold <= 10 && m_warm = 0)))
+    (List.sort compare !checks);
+  (match !full_stats with
+  | Some stats ->
+    Report.name_cache_table ~title:"name-cache counters, both halves, depth 6" stats
+  | None -> ());
+  Printf.printf
+    "one Lookup_req round trip replaces the per-component internal opens\n\
+     (E13: 16/28/46 msgs at depth 1/3/6); the trail it returns fills the\n\
+     name cache, so the warm walk sends nothing at all.\n"
+
+let all =
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
+    e18; e19 ]
 
 let by_name =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
-    ("e18", e18);
+    ("e18", e18); ("e19", e19);
   ]

@@ -74,6 +74,25 @@ let cache_table ?(title = "buffer-cache effectiveness") stats =
   if rows <> [] then
     table ~title ~header:[ "tier"; "hits"; "misses"; "evictions"; "hit ratio" ] rows
 
+(* Name-cache counters ("name.cache.*") plus the remote partial-pathname
+   walk count, as one row — the §2.3.4 lookup fast path's effectiveness. *)
+let name_cache_table ?(title = "name-cache effectiveness") stats =
+  let get what = Sim.Stats.get stats ("name.cache." ^ what) in
+  let hits = get "hit" and misses = get "miss" in
+  let total = hits + misses in
+  if total > 0 || get "fill" > 0 then
+    table ~title
+      ~header:
+        [ "hits"; "misses"; "fills"; "invalidations"; "evictions";
+          "remote walks"; "hit ratio" ]
+      [
+        [ i hits; i misses; i (get "fill"); i (get "invalidate");
+          i (get "evict"); i (Sim.Stats.get stats "name.remote_walks");
+          (if total = 0 then "-"
+           else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int total));
+        ];
+      ]
+
 let section name what =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" name;

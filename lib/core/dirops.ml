@@ -24,6 +24,10 @@ let update_dir k dir_gf f =
         Us.set_contents k o (Dir.encode dir);
         Us.commit k o;
         Us.close k o;
+        (* This site just changed the directory, and its own commit
+           notification never loops back here: retire name-cache links
+           read under the old version now. *)
+        Namecache.note_dir_vv k.name_cache ~dir:dir_gf o.o_info.Proto.i_vv;
         result
       | exception e ->
         Us.abort k o;
@@ -138,7 +142,11 @@ let unlink_gf k dir_gf ~name =
   else begin
     let o = Us.open_gf k gf Proto.Mode_modify in
     Us.delete_file k o;
-    Us.close k o
+    Us.close k o;
+    (* The unlinking site may never receive the deletion's commit
+       notification (it need not store the file): drop links to the dead
+       inode here as well. *)
+    Namecache.invalidate_child k.name_cache gf
   end;
   gf
 

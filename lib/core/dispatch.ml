@@ -33,6 +33,11 @@ let handle k ~src (req : Proto.req) : Proto.resp =
       let stale (g, _, v) = Gfile.equal g gf && not (String.equal v (vv_key vv)) in
       Cache.invalidate_if k.us_cache stale;
       Cache.invalidate_if k.ss_cache stale;
+      (* Name-cache coherence rides the same notification: links read from
+         an older version of this directory are dead, and if the file was
+         deleted no link may keep resolving to it. *)
+      Namecache.note_dir_vv k.name_cache ~dir:gf vv;
+      if deleted then Namecache.invalidate_child k.name_cache gf;
       if (fg_info k gf.Gfile.fg).css_site = k.site then
         Css.handle_commit_notify ~replicas k gf ~origin ~vv ~deleted;
       if fresh && not (Net.Site.equal origin k.site) then
@@ -49,6 +54,7 @@ let handle k ~src (req : Proto.req) : Proto.resp =
     | Proto.Set_attr { gf; perms; owner } -> Ss.handle_set_attr k gf ~perms ~owner
     | Proto.Stat_req { gf } -> Ss.handle_stat k gf
     | Proto.Where_stored { gf } -> Css.handle_where k gf
+    | Proto.Lookup_req { gf; comps } -> Pathname.handle_lookup k gf comps
     (* tokens *)
     | Proto.Token_req { key = Proto.Tok_fd (a, b); for_site } ->
       Tokens.handle_token_req k (a, b) ~for_site

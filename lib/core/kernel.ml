@@ -38,6 +38,7 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
       ss_slots = Hashtbl.create 64;
       us_cache = mk_cache "cache.us.evict" ~capacity:config.us_cache_pages;
       ss_cache = mk_cache "cache.ss.evict" ~capacity:config.ss_cache_pages;
+      name_cache = Namecache.create ~stats ~capacity:config.name_cache_entries ();
       prop_pending = Gfile.Set.empty;
       prop_queue = Queue.create ();
       shared_fds = Hashtbl.create 32;
@@ -425,6 +426,7 @@ let crash k =
   Hashtbl.reset k.pipe_bufs;
   Storage.Cache.clear k.us_cache;
   Storage.Cache.clear k.ss_cache;
+  Namecache.clear k.name_cache;
   Queue.clear k.prop_queue;
   k.prop_pending <- Gfile.Set.empty;
   k.site_table <- [ k.site ];

@@ -28,6 +28,8 @@ type config = {
   ss_cache_pages : int;      (* SS buffer-cache entries; 0 disables the tier *)
   cache_retention : bool;    (* keep version-keyed US pages across opens *)
   propagation_delay : float; (* ms before the kernel propagation process runs a pull *)
+  name_cache_entries : int;  (* pathname name-cache entries; 0 disables (2.3.4) *)
+  remote_lookup : bool;      (* ship partial pathnames to a storage site (2.3.4) *)
 }
 
 let default_config =
@@ -38,6 +40,8 @@ let default_config =
     ss_cache_pages = 512;
     cache_retention = true;
     propagation_delay = 2.0;
+    name_cache_entries = 512;
+    remote_lookup = true;
   }
 
 (* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
@@ -144,6 +148,8 @@ type t = {
   us_cache : (Gfile.t * int * string) Storage.Cache.t; (* (file, lpage, vv) -> page *)
   ss_cache : (Gfile.t * int * string) Storage.Cache.t;
   (* SS buffer cache fronting pack/disk page reads, same version-keying *)
+  name_cache : Namecache.t;
+  (* (directory, component) -> child links, vv-validated (section 2.3.4) *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
   (* file, target version, modified pages ([] = whole file), retries left *)

@@ -26,6 +26,8 @@ type config = {
   ss_cache_pages : int;      (** SS buffer-cache entries; 0 disables the tier *)
   cache_retention : bool;    (** keep version-keyed US pages across opens *)
   propagation_delay : float; (** ms before the propagation kernel process runs *)
+  name_cache_entries : int;  (** pathname name-cache entries; 0 disables (§2.3.4) *)
+  remote_lookup : bool;      (** ship partial pathnames to a storage site (§2.3.4) *)
 }
 
 val default_config : config
@@ -141,6 +143,8 @@ type t = {
       (** (file, page, version) → page: stale versions miss naturally *)
   ss_cache : (Gfile.t * int * string) Storage.Cache.t;
       (** SS buffer cache fronting pack/disk page reads, same keying *)
+  name_cache : Namecache.t;
+      (** (directory, component) → child links, vv-validated (§2.3.4) *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
       (** file, target version, modified pages ([] = all), retries left *)

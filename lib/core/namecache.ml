@@ -1,0 +1,118 @@
+(* Per-site pathname name cache: the caching half of the section 2.3.4
+   fast path.
+
+   Maps (directory gfile, component) to the child gfile the component
+   named, remembering the directory's version vector at fill time. The
+   paper's pathname searching already reads directories unsynchronized —
+   a momentarily stale answer is sanctioned — so serving a cached link is
+   no weaker than the slow path; the version vector is the invalidation
+   key that bounds the staleness to what commit notification has not yet
+   delivered. Entries are filled by local directory walks and by the
+   trails of server-side partial-pathname lookups ([Proto.lookup_step]),
+   and live in the same O(1) recency-list structure as the buffer caches.
+
+   Counters exported through [Sim.Stats]: name.cache.hit, name.cache.miss,
+   name.cache.fill, name.cache.invalidate, name.cache.evict. *)
+
+module Gfile = Catalog.Gfile
+module Vvec = Vv.Version_vector
+
+type entry = {
+  nc_child : Gfile.t;
+  nc_vv : Vvec.t; (* the directory's version when the link was read *)
+  nc_ftype : Storage.Inode.ftype option; (* the child's type, when known *)
+}
+
+module Lru = Storage.Lru.Make (struct
+  type t = entry
+
+  let copy e = e (* entries are immutable *)
+end)
+
+type t = {
+  cache : (Gfile.t * string) Lru.t option; (* None: disabled (capacity 0) *)
+  stats : Sim.Stats.t;
+}
+
+let count t what = Sim.Stats.incr t.stats ("name.cache." ^ what)
+
+let create ~stats ~capacity () =
+  let cache =
+    if capacity <= 0 then None
+    else
+      Some
+        (Lru.create
+           ~on_evict:(fun _ -> Sim.Stats.incr stats "name.cache.evict")
+           ~capacity ())
+  in
+  { cache; stats }
+
+let enabled t = t.cache <> None
+
+let find t ~dir ~comp ~current_vv =
+  match t.cache with
+  | None -> None
+  | Some c -> (
+    match Lru.find c (dir, comp) with
+    | None ->
+      count t "miss";
+      None
+    | Some e -> (
+      (* [current_vv] is the directory's version as locally known (None
+         when this site stores no trustworthy copy). A mismatch proves
+         the link was read from a superseded directory version. *)
+      match current_vv with
+      | Some vv when not (Vvec.equal vv e.nc_vv) ->
+        Lru.invalidate c (dir, comp);
+        count t "invalidate";
+        count t "miss";
+        None
+      | Some _ | None ->
+        count t "hit";
+        Some e))
+
+let insert t ~dir ~comp entry =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    count t "fill";
+    Lru.insert c (dir, comp) entry
+
+(* Annotate an existing link with the child's type, learned later in the
+   walk (when the child itself is loaded or stat'ed). Not a fill: the
+   link is already cached, only its terminal-stat shortcut improves. *)
+let note_ftype t ~dir ~comp ftype =
+  match t.cache with
+  | None -> ()
+  | Some c -> (
+    match Lru.find c (dir, comp) with
+    | None -> ()
+    | Some e -> Lru.insert c (dir, comp) { e with nc_ftype = Some ftype })
+
+let drop t pred =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    let dropped = Lru.filter_out c pred in
+    if dropped > 0 then Sim.Stats.add t.stats "name.cache.invalidate" dropped
+
+(* The directory committed at [vv]: every link recorded under a different
+   version is superseded. Links already recorded under [vv] stay. *)
+let note_dir_vv t ~dir vv =
+  drop t (fun (d, _) e -> Gfile.equal d dir && not (Vvec.equal e.nc_vv vv))
+
+let invalidate_dir t dir = drop t (fun (d, _) _ -> Gfile.equal d dir)
+
+(* The file is deleted (or its inode number reclaimed): no cached link may
+   keep resolving to it, whichever directory named it (hard links). *)
+let invalidate_child t child = drop t (fun _ e -> Gfile.equal e.nc_child child)
+
+let clear t =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    let n = Lru.length c in
+    if n > 0 then Sim.Stats.add t.stats "name.cache.invalidate" n;
+    Lru.clear c
+
+let length t = match t.cache with None -> 0 | Some c -> Lru.length c

@@ -6,6 +6,17 @@
    searched without informing the CSS at all. Filegroup boundaries are
    crossed through the replicated mount table.
 
+   Two fast paths short-circuit the per-component internal opens that
+   dominate remote resolution cost (the remedy section 2.3.4 names but the
+   paper left unimplemented):
+
+   - the per-site *name cache* ([Namecache]): (directory, component) ->
+     child links validated against the directory's version vector, so a
+     warm walk touches no directory data at all;
+   - *partial-pathname lookup*: the remaining components are shipped to a
+     storage site ([Lookup_req]), which walks as many as it stores in one
+     round trip and returns the trail, which also fills the name cache.
+
    Hidden directories implement context-sensitive names: when pathname
    search hits one, the process's per-process context list selects which
    entry to descend into, unless the caller escapes with an explicit
@@ -19,18 +30,19 @@ module Mount = Catalog.Mount
 
 let split_path path = String.split_on_char '/' path |> List.filter (fun c -> c <> "")
 
-(* Internal unsynchronized open through the CSS. *)
+(* Internal unsynchronized open through the CSS. Also returns the version
+   vector, which keys the name-cache entries filled from this copy. *)
 let load_dir_remote k gf =
   let o = Us.open_gf k gf Proto.Mode_internal in
   let body = Us.read_all k o in
-  let ftype = o.o_info.Proto.i_ftype in
+  let info = o.o_info in
   Us.close k o;
-  (ftype, body)
+  (info.Proto.i_ftype, body, info.Proto.i_vv)
 
-(* Load a directory's contents and type. Local fast path per section 2.3.4;
-   otherwise internal open through the CSS. The [bool] tells the caller
-   whether the fast path was used (its copy may be momentarily stale, so a
-   lookup miss warrants a synchronized retry). *)
+(* Load a directory's contents, type and version. Local fast path per
+   section 2.3.4; otherwise internal open through the CSS. The [bool]
+   tells the caller whether the fast path was used (its copy may be
+   momentarily stale, so a lookup miss warrants a synchronized retry). *)
 let load_dir_checked k gf =
   let fast =
     match local_pack k gf.Gfile.fg with
@@ -38,18 +50,18 @@ let load_dir_checked k gf =
       match Pack.find_inode pack gf.Gfile.ino with
       | Some inode when not inode.Inode.deleted ->
         charge_disk_read k;
-        Some (inode.Inode.ftype, Pack.read_string pack inode)
+        Some (inode.Inode.ftype, Pack.read_string pack inode, inode.Inode.vv)
       | Some _ | None -> None)
     | Some _ | None -> None
   in
   match fast with
-  | Some (ftype, body) -> (ftype, body, true)
+  | Some (ftype, body, vv) -> (ftype, body, true, vv)
   | None ->
-    let ftype, body = load_dir_remote k gf in
-    (ftype, body, false)
+    let ftype, body, vv = load_dir_remote k gf in
+    (ftype, body, false, vv)
 
 let load_dir k gf =
-  let ftype, body, _ = load_dir_checked k gf in
+  let ftype, body, _, _ = load_dir_checked k gf in
   (ftype, body)
 
 let dir_of_body body = try Dir.decode body with Failure _ -> Dir.empty ()
@@ -81,6 +93,283 @@ let select_context k ~context gf dir =
   in
   first context
 
+(* ---- the name-cache half of the fast path ---- *)
+
+(* The directory's local version, when it can serve as the validation key:
+   a pending propagation means the local copy lags the version a cache
+   entry may have been filled from, so it proves nothing. *)
+let trusted_local_vv k gf =
+  match local_pack k gf.Gfile.fg with
+  | Some pack when not (Gfile.Set.mem gf k.prop_pending) ->
+    Pack.find_inode pack gf.Gfile.ino |> Option.map (fun (i : Inode.t) -> i.Inode.vv)
+  | Some _ | None -> None
+
+(* Would the local fast path serve this directory? If not, a remote
+   partial-pathname lookup is worth a round trip. *)
+let locally_searchable k gf =
+  match local_pack k gf.Gfile.fg with
+  | None -> false
+  | Some pack -> (
+    (not (Gfile.Set.mem gf k.prop_pending))
+    &&
+    match Pack.find_inode pack gf.Gfile.ino with
+    | Some inode -> not inode.Inode.deleted
+    | None -> false)
+
+let cacheable_comp comp = comp <> "." && comp <> ".."
+
+(* Record one successful directory search. Children under a mount point
+   are skipped: the link's target depends on the mount table, not only on
+   the directory's contents. Structural names ("." "..") never enter. *)
+let cache_fill k ~dir ~vv ~comp ~child ~ftype =
+  if cacheable_comp comp && Mount.mounted_at k.mount child = None then
+    Namecache.insert k.name_cache ~dir ~comp
+      { Namecache.nc_child = child; nc_vv = vv; nc_ftype = ftype }
+
+(* ---- the server half: partial-pathname lookup ---- *)
+
+(* Walk as many of [comps] from [gf] as this site's pack stores, in one
+   request. The walk stops — leaving the remaining components to the
+   using site, which resumes with full transparency semantics — at mount
+   points (the component naming one is consumed; crossing is the US's
+   job), hidden directories (likewise consumed; context expansion is
+   per-process), "..", deleted inodes, directories awaiting propagation,
+   and pack boundaries. One trail step is returned per consumed
+   component, in order, so the US can zip them back together. *)
+let handle_lookup k gf comps =
+  let stop cur consumed trail =
+    Proto.R_lookup { gf = cur; consumed; trail = List.rev trail }
+  in
+  match local_pack k gf.Gfile.fg with
+  | None -> stop gf 0 []
+  | Some pack ->
+    let fg = gf.Gfile.fg in
+    let searchable cur =
+      if Mount.mounted_at k.mount cur <> None then None
+      else if Gfile.Set.mem cur k.prop_pending then None
+      else
+        match Pack.find_inode pack cur.Gfile.ino with
+        | Some inode
+          when (not inode.Inode.deleted) && inode.Inode.ftype = Inode.Directory ->
+          Some inode
+        | Some _ | None -> None
+    in
+    let rec go cur consumed trail comps =
+      match comps with
+      | [] -> stop cur consumed trail
+      | comp :: rest -> (
+        match searchable cur with
+        | None -> stop cur consumed trail
+        | Some inode ->
+          if comp = "." then begin
+            let step =
+              { Proto.l_dir = cur; l_vv = inode.Inode.vv; l_child = cur;
+                l_ftype = Some Inode.Directory }
+            in
+            go cur (consumed + 1) (step :: trail) rest
+          end
+          else if comp = ".." then stop cur consumed trail
+          else begin
+            charge_disk_read k;
+            let dir = dir_of_body (Pack.read_string pack inode) in
+            match Dir.lookup dir comp with
+            | None -> stop cur consumed trail
+            | Some ino -> (
+              let child = Gfile.make ~fg ~ino in
+              match Pack.find_inode pack ino with
+              | Some ci when ci.Inode.deleted ->
+                (* A live link to a deleted inode: transiently possible
+                   under unsynchronized reads. Never hand it out. *)
+                stop cur consumed trail
+              | child_inode ->
+                let l_ftype =
+                  Option.map (fun (i : Inode.t) -> i.Inode.ftype) child_inode
+                in
+                let step =
+                  { Proto.l_dir = cur; l_vv = inode.Inode.vv; l_child = child;
+                    l_ftype }
+                in
+                go child (consumed + 1) (step :: trail) rest)
+          end)
+    in
+    let resp = go gf 0 [] comps in
+    (match resp with
+    | Proto.R_lookup { consumed; _ } ->
+      record k ~tag:"ss.lookup"
+        (Format.asprintf "%a %d/%d components" Gfile.pp gf consumed
+           (List.length comps))
+    | _ -> ());
+    resp
+
+(* ---- resolution ---- *)
+
+(* Storage site to ship remaining components to: prefer the filegroup's
+   CSS when it holds a pack (it typically stores the directories), else
+   the first reachable pack site. *)
+let lookup_site k fg =
+  if not k.config.remote_lookup then None
+  else
+    match fg_info k fg with
+    | fi ->
+      let ok s = (not (Site.equal s k.site)) && in_partition k s in
+      if ok fi.css_site && List.mem fi.css_site fi.pack_sites then Some fi.css_site
+      else List.find_opt ok fi.pack_sites
+    | exception Error _ -> None
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let rec drop n l = match l with _ :: rest when n > 0 -> drop (n - 1) rest | _ -> l
+
+(* One resolution walk, shared by [resolve_from] and [resolve_parent].
+
+   [hint] is the current gfile's type when the walk already knows it (from
+   a cache hit or a lookup trail) — it lets a terminal component skip the
+   hidden-directory stat. [edge] is the (directory, component) link that
+   produced the current gfile, so a type learned later can be recorded
+   back onto the cached link ([Namecache.note_ftype]). [finish] consumes
+   the terminal gfile together with both. *)
+let walk_comps k ~context start comps ~finish =
+  (* One zero-component server-side lookup is evidence enough that the
+     chosen site does not store this part of the tree: stop trying until a
+     mount crossing moves the walk into another filegroup. Bounds the
+     wasted traffic to one round trip per filegroup per walk. *)
+  let remote_ok = ref true in
+  let rec walk gf ~hint ~edge comps =
+    match comps with
+    | [] -> finish gf ~hint ~edge
+    | comp :: rest -> step gf ~edge comp rest
+  and step gf ~edge comp rest =
+    match
+      if cacheable_comp comp then
+        Namecache.find k.name_cache ~dir:gf ~comp
+          ~current_vv:(trusted_local_vv k gf)
+      else None
+    with
+    | Some e -> (
+      (* A cached link: descend without touching the directory. Mount
+         crossing still applies — links are filled unmounted, but the
+         mount table can change under the cache. *)
+      match Mount.mounted_at k.mount e.Namecache.nc_child with
+      | Some child_fg ->
+        remote_ok := true;
+        walk
+          (Gfile.make ~fg:child_fg ~ino:Mount.root_ino)
+          ~hint:(Some Inode.Directory) ~edge:None rest
+      | None ->
+        walk e.Namecache.nc_child ~hint:e.Namecache.nc_ftype
+          ~edge:(Some (gf, comp)) rest)
+    | None ->
+      if !remote_ok && not (locally_searchable k gf) then remote_step gf ~edge comp rest
+      else local_step gf ~edge comp rest
+  and remote_step gf ~edge comp rest =
+    match lookup_site k gf.Gfile.fg with
+    | None -> local_step gf ~edge comp rest
+    | Some ss -> (
+      let comps = comp :: rest in
+      Sim.Stats.incr (stats k) "name.remote_walks";
+      match rpc_result k ss (Proto.Lookup_req { gf; comps }) with
+      | Ok (Proto.R_lookup { gf = final; consumed; trail })
+        when consumed > 0
+             && consumed <= List.length comps
+             && List.length trail = consumed ->
+        let consumed_comps = take consumed comps in
+        List.iter2
+          (fun c (s : Proto.lookup_step) ->
+            cache_fill k ~dir:s.Proto.l_dir ~vv:s.Proto.l_vv ~comp:c
+              ~child:s.Proto.l_child ~ftype:s.Proto.l_ftype)
+          consumed_comps trail;
+        let remaining = drop consumed comps in
+        (* The server-side walk never descends through a mount point;
+           crossing the one it may have stopped on is this site's job. *)
+        (match Mount.mounted_at k.mount final with
+        | Some child_fg ->
+          walk
+            (Gfile.make ~fg:child_fg ~ino:Mount.root_ino)
+            ~hint:(Some Inode.Directory) ~edge:None remaining
+        | None ->
+          let hint, edge =
+            match (List.rev trail, List.rev consumed_comps) with
+            | s :: _, c :: _ -> (s.Proto.l_ftype, Some (s.Proto.l_dir, c))
+            | _ -> (None, None)
+          in
+          walk final ~hint ~edge remaining)
+      | Ok _ | Error _ ->
+        remote_ok := false;
+        local_step gf ~edge comp rest)
+  and local_step gf ~edge comp rest =
+    let ftype, body, fast, vv = load_dir_checked k gf in
+    (* Whatever link led here can be annotated with the type it resolved
+       to, sparing the terminal stat on the next warm walk. *)
+    (match edge with
+    | Some (d, c) -> Namecache.note_ftype k.name_cache ~dir:d ~comp:c ftype
+    | None -> ());
+    let dir = dir_of_body body in
+    (* A miss against a fast-path (possibly stale) local copy is retried
+       once against a synchronized copy before reporting ENOENT. *)
+    let lookup_refreshing name =
+      match Dir.lookup dir name with
+      | Some ino -> Some (ino, vv)
+      | None when fast -> (
+        let _, body, vv' = load_dir_remote k gf in
+        match Dir.lookup (dir_of_body body) name with
+        | Some ino -> Some (ino, vv')
+        | None -> None)
+      | None -> None
+    in
+    (* Descend through a looked-up entry, filling the cache and applying
+       the mount crossing. *)
+    let descend ~comp ino vv rest =
+      let raw = Gfile.make ~fg:gf.Gfile.fg ~ino in
+      let next = enter k ~fg:gf.Gfile.fg ino in
+      if Gfile.equal next raw then begin
+        cache_fill k ~dir:gf ~vv ~comp ~child:raw ~ftype:None;
+        walk next ~hint:None ~edge:(Some (gf, comp)) rest
+      end
+      else begin
+        (* crossed a mount point into another filegroup *)
+        remote_ok := true;
+        walk next ~hint:(Some Inode.Directory) ~edge:None rest
+      end
+    in
+    match ftype with
+    | Inode.Directory -> (
+      match comp with
+      | "." -> walk gf ~hint:(Some Inode.Directory) ~edge:None rest
+      | ".." when gf.Gfile.ino = Mount.root_ino -> (
+        (* ".." out of a filegroup root crosses the mount boundary: it
+           names the *parent of the mount point* in the covering
+           filegroup, so resolution restarts at the mount point with the
+           ".." still pending. *)
+        match Mount.mount_point_of k.mount gf.Gfile.fg with
+        | Some point -> walk point ~hint:None ~edge:None (comp :: rest)
+        | None ->
+          (* ".." of the global root is itself *)
+          walk gf ~hint:(Some Inode.Directory) ~edge:None rest)
+      | ".." -> walk (dotdot k gf dir) ~hint:None ~edge:None rest
+      | _ -> (
+        match lookup_refreshing comp with
+        | Some (ino, vv) -> descend ~comp ino vv rest
+        | None -> err Proto.Enoent "%s: no such entry in %a" comp Gfile.pp gf))
+    | Inode.Hidden_directory ->
+      (* The escape mechanism: an explicit '@name' component picks an
+         entry and makes the hidden directory visible; otherwise the
+         context chooses and the component is *not* consumed. *)
+      if String.length comp > 0 && comp.[0] = '@' then begin
+        let name = String.sub comp 1 (String.length comp - 1) in
+        match Dir.lookup dir name with
+        | Some ino -> descend ~comp ino vv rest
+        | None -> err Proto.Enoent "@%s: no such hidden entry" name
+      end
+      else
+        (* context selection is per-process and never cached *)
+        walk (select_context k ~context gf dir) ~hint:None ~edge:None (comp :: rest)
+    | Inode.Regular | Inode.Mailbox | Inode.Database | Inode.Fifo ->
+      err Proto.Enotdir "%a is not a directory" Gfile.pp gf
+  in
+  walk start ~hint:None ~edge:None comps
+
 (* Resolve [path] to a gfile. [context] is the hidden-directory context of
    the calling process; [follow_hidden] controls whether a *final* hidden
    directory is transparently expanded (commands want the load module;
@@ -89,85 +378,53 @@ let resolve_from k ~cwd ~context ?(follow_hidden = true) path =
   let start =
     if String.length path > 0 && path.[0] = '/' then Mount.root k.mount else cwd
   in
-  let rec walk gf comps =
-    match comps with
-    | [] ->
-      if follow_hidden then begin
+  walk_comps k ~context start (split_path path) ~finish:(fun gf ~hint ~edge ->
+      if not follow_hidden then gf
+      else begin
         (* A final hidden directory expands under the process context; the
-           check interrogates only the descriptor, not the data. *)
-        match Us.stat_gf k gf with
-        | { Proto.i_ftype = Inode.Hidden_directory; _ } ->
+           check interrogates only the descriptor — and not even that when
+           the walk already learned the type. *)
+        let ftype =
+          match hint with
+          | Some t -> Some t
+          | None -> (
+            match Us.stat_gf k gf with
+            | info ->
+              (match edge with
+              | Some (d, c) ->
+                Namecache.note_ftype k.name_cache ~dir:d ~comp:c info.Proto.i_ftype
+              | None -> ());
+              Some info.Proto.i_ftype
+            | exception Error (Proto.Enoent, _) ->
+              (* Only "no such file" may fall through to "not hidden"; any
+                 other failure (say, a storage site going unreachable
+                 mid-stat) must surface, not masquerade as a plain file. *)
+              None)
+        in
+        match ftype with
+        | Some Inode.Hidden_directory ->
           let _, body = load_dir k gf in
           select_context k ~context gf (dir_of_body body)
-        | { Proto.i_ftype =
-              ( Inode.Regular | Inode.Directory | Inode.Mailbox | Inode.Database
-              | Inode.Fifo );
-            _
-          } ->
-          gf
-        | exception Error _ -> gf
-      end
-      else gf
-    | comp :: rest -> (
-      let ftype, body, fast = load_dir_checked k gf in
-      let dir = dir_of_body body in
-      (* A miss against a fast-path (possibly stale) local copy is retried
-         once against a synchronized copy before reporting ENOENT. *)
-      let lookup_refreshing name =
-        match Dir.lookup dir name with
-        | Some ino -> Some ino
-        | None when fast ->
-          let _, body = load_dir_remote k gf in
-          Dir.lookup (dir_of_body body) name
-        | None -> None
-      in
-      match ftype with
-      | Inode.Directory -> (
-        match comp with
-        | "." -> walk gf rest
-        | ".." when gf.Gfile.ino = Mount.root_ino -> (
-          (* ".." out of a filegroup root crosses the mount boundary: it
-             names the *parent of the mount point* in the covering
-             filegroup, so resolution restarts at the mount point with the
-             ".." still pending. *)
-          match Mount.mount_point_of k.mount gf.Gfile.fg with
-          | Some point -> walk point comps
-          | None -> walk gf rest (* ".." of the global root is itself *))
-        | ".." -> walk (dotdot k gf dir) rest
-        | _ -> (
-          match lookup_refreshing comp with
-          | Some ino -> walk (enter k ~fg:gf.Gfile.fg ino) rest
-          | None -> err Proto.Enoent "%s: no such entry in %a" comp Gfile.pp gf))
-      | Inode.Hidden_directory ->
-        (* The escape mechanism: an explicit '@name' component picks an
-           entry and makes the hidden directory visible; otherwise the
-           context chooses and the component is *not* consumed. *)
-        if String.length comp > 0 && comp.[0] = '@' then begin
-          let name = String.sub comp 1 (String.length comp - 1) in
-          match Dir.lookup dir name with
-          | Some ino -> walk (enter k ~fg:gf.Gfile.fg ino) rest
-          | None -> err Proto.Enoent "@%s: no such hidden entry" name
-        end
-        else walk (select_context k ~context gf dir) comps
-      | Inode.Regular | Inode.Mailbox | Inode.Database | Inode.Fifo ->
-        err Proto.Enotdir "%a is not a directory" Gfile.pp gf)
-  in
-  walk start (split_path path)
+        | Some _ | None -> gf
+      end)
 
-(* Resolve all but the last component; returns the parent directory's gfile
-   and the final name. Used by create/unlink/mkdir. A leading '@' on the
-   final component is the hidden-directory escape: "/bin/who/@vax" names
-   the entry "vax" inside the hidden directory /bin/who. *)
+(* Resolve all but the last component — in the same single walk, not by
+   re-resolving a reassembled prefix string — and return the parent
+   directory's gfile with the final name. Used by create/unlink/mkdir. A
+   leading '@' on the final component is the hidden-directory escape:
+   "/bin/who/@vax" names the entry "vax" inside the hidden directory
+   /bin/who. *)
 let resolve_parent k ~cwd ~context path =
   match List.rev (split_path path) with
   | [] -> err Proto.Einval "empty pathname"
   | last :: rev_prefix ->
-    let prefix = List.rev rev_prefix in
-    let dir_path =
-      (if String.length path > 0 && path.[0] = '/' then "/" else "")
-      ^ String.concat "/" prefix
+    let start =
+      if String.length path > 0 && path.[0] = '/' then Mount.root k.mount else cwd
     in
-    let dir_gf = resolve_from k ~cwd ~context ~follow_hidden:false dir_path in
+    let dir_gf =
+      walk_comps k ~context start (List.rev rev_prefix)
+        ~finish:(fun gf ~hint:_ ~edge:_ -> gf)
+    in
     let last =
       if String.length last > 1 && last.[0] = '@' then
         String.sub last 1 (String.length last - 1)

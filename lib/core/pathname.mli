@@ -5,7 +5,15 @@
     pending propagation is searched without contacting the CSS at all (a
     lookup miss against such a possibly-stale copy is retried once against
     a synchronized copy). Filegroup boundaries are crossed through the
-    replicated mount table, in both directions. *)
+    replicated mount table, in both directions.
+
+    Two fast paths short-circuit the per-component internal opens: the
+    per-site {!Namecache} of (directory, component) links validated by
+    directory version vectors, and server-side partial-pathname lookup —
+    the remedy §2.3.4 names — where the remaining components are shipped
+    to a storage site that walks as many as it stores in one round trip
+    (the trail it returns also fills the name cache). Both are
+    independently switchable via {!Ktypes.config}. *)
 
 val split_path : string -> string list
 
@@ -42,3 +50,13 @@ val read_directory : Ktypes.t -> Catalog.Gfile.t -> Catalog.Dir.t
 val select_context :
   Ktypes.t -> context:string list -> Catalog.Gfile.t -> Catalog.Dir.t -> Catalog.Gfile.t
 (** First context name bound in a hidden directory. *)
+
+val handle_lookup : Ktypes.t -> Catalog.Gfile.t -> string list -> Proto.resp
+(** The storage-site half of partial-pathname lookup: walk as many of the
+    components from the given directory as the local pack stores, in one
+    request, and return the resulting gfile, the number of components
+    consumed, and one {!Proto.lookup_step} per consumed component. Stops
+    at mount points, "..", hidden directories (both consumed; crossing and
+    context expansion stay with the using site), deleted inodes,
+    directories awaiting propagation, and pack boundaries. Never fails:
+    zero components consumed is a valid answer. *)

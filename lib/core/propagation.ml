@@ -59,6 +59,10 @@ let apply_delete k pack gf ~vv =
       charge_disk_write k;
       Shadow.commit session ~vv ~mtime:(now k);
       invalidate_stale k gf ~vv;
+      (* The file is gone and the inode may be reclaimed: drop both the
+         links to it and any links read out of it. *)
+      Namecache.invalidate_dir k.name_cache gf;
+      Namecache.invalidate_child k.name_cache gf;
       record k ~tag:"prop.delete" (Gfile.to_string gf);
       report_to_css k gf vv ~deleted:true
     end
@@ -126,6 +130,9 @@ let pull_from k pack gf ~source ~modified =
              (Shadow.incore session).Inode.size <- info.Proto.i_size;
            Shadow.commit session ~vv:info.Proto.i_vv ~mtime:info.Proto.i_mtime;
            invalidate_stale k gf ~vv:info.Proto.i_vv;
+           (* The local copy just jumped versions: links cached from any
+              other version of this directory are dead. *)
+           Namecache.note_dir_vv k.name_cache ~dir:gf info.Proto.i_vv;
            record k ~tag:"prop.pull"
              (Format.asprintf "%a <- %a vv=%a (%d pages)" Gfile.pp gf Site.pp
                 source Vvec.pp info.Proto.i_vv (List.length pages_to_pull))

@@ -195,6 +195,11 @@ let handle_commit ?force_vv k gf ~abort ~delete =
          version keys differently); drop them. *)
       Cache.invalidate_if k.ss_cache
         (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key vv)));
+      (* Likewise name-cache links: if this was a directory, links read
+         from the old version are dead; if the file was deleted, no link
+         may keep resolving to it. *)
+      Namecache.note_dir_vv k.name_cache ~dir:gf vv;
+      if delete then Namecache.invalidate_child k.name_cache gf;
       record k ~tag:"ss.commit"
         (Format.asprintf "%a vv=%a%s" Gfile.pp gf Vvec.pp vv
            (if delete then " delete" else ""));
@@ -300,6 +305,7 @@ let metadata_commit k gf mutate =
          version and can never hit again; free the space. *)
       Cache.invalidate_if k.ss_cache
         (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key inode.Inode.vv)));
+      Namecache.note_dir_vv k.name_cache ~dir:gf inode.Inode.vv;
       let fi = fg_info k gf.Gfile.fg in
       let message =
         Proto.Commit_notify
@@ -357,6 +363,10 @@ let handle_reclaim k gf =
   | Some pack -> Pack.remove_inode pack gf.Gfile.ino
   | None -> ());
   Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
+  (* A reclaimed inode number can be reallocated: drop every name-cache
+     link into or out of it. *)
+  Namecache.invalidate_dir k.name_cache gf;
+  Namecache.invalidate_child k.name_cache gf;
   Proto.R_ok
 
 (* ---- named pipes (section 2.4.2): the fifo's single SS serializes ---- *)

@@ -108,6 +108,17 @@ type process_env = {
   e_fds : fd_desc list;
 }
 
+(* One directory-search step performed server-side by a partial-pathname
+   lookup (the remedy named in section 2.3.4): which directory was
+   searched, at which version, and which gfile the component named. The
+   using site turns each step into a name-cache entry. *)
+type lookup_step = {
+  l_dir : Catalog.Gfile.t;
+  l_vv : Vvec.t; (* the directory's version vector at search time *)
+  l_child : Catalog.Gfile.t;
+  l_ftype : Storage.Inode.ftype option; (* child's type, when stored at the SS *)
+}
+
 type req =
   (* --- open protocol (Figure 2) --- *)
   | Open_req of {
@@ -186,6 +197,9 @@ type req =
        "just inode information changed" case) *)
   | Stat_req of { gf : Catalog.Gfile.t }
   | Where_stored of { gf : Catalog.Gfile.t } (* CSS bookkeeping query *)
+  | Lookup_req of { gf : Catalog.Gfile.t; comps : string list }
+    (* US -> SS: walk as many of the remaining pathname components from
+       [gf] as this site stores, in one round trip (section 2.3.4) *)
   (* --- tokens (section 3.2) --- *)
   | Token_req of { key : token_key; for_site : Net.Site.t }
   | Token_state_req of { key : token_key } (* fetch guarded state with the token *)
@@ -232,6 +246,9 @@ type resp =
   | R_committed of { vv : Vvec.t }
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }
+  | R_lookup of { gf : Catalog.Gfile.t; consumed : int; trail : lookup_step list }
+    (* where the server-side walk stopped, how many components it
+       consumed, and one trail step per consumed component *)
   | R_where of {
       sites : Net.Site.t list;     (* reachable sites holding the latest version *)
       all_sites : Net.Site.t list; (* every site holding any copy, even stale or unreachable *)
@@ -295,6 +312,9 @@ let req_bytes = function
     header + gfile_bytes + 6
     + (match owner with Some o -> String.length o | None -> 0)
   | Stat_req _ | Where_stored _ -> header + gfile_bytes
+  | Lookup_req { comps; _ } ->
+    header + gfile_bytes
+    + List.fold_left (fun a c -> a + 1 + String.length c) 0 comps
   | Token_req { key; _ } -> header + token_bytes key + 4
   | Token_state_req { key } -> header + token_bytes key
   | Fork_req { env; image_pages; _ } ->
@@ -331,6 +351,9 @@ let resp_bytes = function
   | R_created _ -> header + 4
   | R_stat { info; _ } ->
     header + 1 + (match info with Some i -> info_bytes i | None -> 0)
+  | R_lookup { trail; _ } ->
+    header + gfile_bytes + 4
+    + List.fold_left (fun a s -> a + (2 * gfile_bytes) + vv_bytes s.l_vv + 1) 0 trail
   | R_where { sites; all_sites; vv } ->
     header + site_list_bytes sites + site_list_bytes all_sites + vv_bytes vv
   | R_token { state; _ } -> header + 1 + String.length state
@@ -362,6 +385,7 @@ let req_tag = function
   | Set_attr _ -> "setattr"
   | Stat_req _ -> "stat"
   | Where_stored _ -> "where"
+  | Lookup_req _ -> "lookup"
   | Token_req _ -> "token"
   | Token_state_req _ -> "token.state"
   | Fork_req _ -> "fork"
@@ -386,7 +410,7 @@ let req_tag = function
    blindly retried; reconfiguration probes are single-shot because
    unreachability is the information being gathered (section 5.4). *)
 let req_idempotent = function
-  | Read_page _ | Stat_req _ | Where_stored _ | Open_files_query _
+  | Read_page _ | Stat_req _ | Where_stored _ | Lookup_req _ | Open_files_query _
   | Pack_inventory _ | Token_state_req _ | Token_req _ | Page_invalidate _
   | Reclaim_req _ | Commit_notify _ | Write_page _ | Truncate_req _
   | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _

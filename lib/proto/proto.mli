@@ -89,6 +89,20 @@ type process_env = {
   e_fds : fd_desc list;
 }
 
+(** {1 Partial-pathname lookup (§2.3.4)} *)
+
+(** One directory-search step performed server-side by {!Lookup_req}: the
+    directory searched, its version vector at search time, and the gfile
+    the component named. The using site turns each step into a name-cache
+    entry keyed by the directory's version. *)
+type lookup_step = {
+  l_dir : Catalog.Gfile.t;
+  l_vv : Vv.Version_vector.t;
+  l_child : Catalog.Gfile.t;
+  l_ftype : Storage.Inode.ftype option;
+      (** the child's type, when its inode is stored at the serving site *)
+}
+
 (** {1 Requests} *)
 
 type req =
@@ -167,6 +181,12 @@ type req =
       (** metadata-only commits (§2.3.6's "just inode information") *)
   | Stat_req of { gf : Catalog.Gfile.t }
   | Where_stored of { gf : Catalog.Gfile.t }
+  | Lookup_req of { gf : Catalog.Gfile.t; comps : string list }
+      (** US → SS: walk as many of the remaining pathname components from
+          [gf] as this site stores, in one round trip — §2.3.4's remedy
+          for per-component internal opens. The walk stops at mount
+          points, hidden directories, [".."], deleted inodes, and
+          pack/filegroup boundaries; the US resumes from there. *)
   | Token_req of { key : token_key; for_site : Net.Site.t }
   | Token_state_req of { key : token_key }
   | Fork_req of {
@@ -225,6 +245,9 @@ type resp =
   | R_committed of { vv : Vv.Version_vector.t }
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }
+  | R_lookup of { gf : Catalog.Gfile.t; consumed : int; trail : lookup_step list }
+      (** where the server-side walk stopped, how many components it
+          consumed, and one trail step per consumed component *)
   | R_where of {
       sites : Net.Site.t list;
       all_sites : Net.Site.t list;

@@ -77,6 +77,10 @@ let rebuild_css k fg ~members =
 
 let handle_announce k ~members ~css_map =
   k.site_table <- List.sort_uniq Site.compare members;
+  (* Directories may have changed arbitrarily in the other partition, and
+     deletions there produced no notification here: start the name cache
+     cold rather than audit it. *)
+  Locus_core.Namecache.clear k.name_cache;
   List.iter
     (fun (fg, css) ->
       match List.find_opt (fun fi -> fi.fg = fg) k.fg_table with

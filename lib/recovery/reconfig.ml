@@ -31,7 +31,7 @@ let install k =
       | Proto.Us_close _ | Proto.Ss_close _ | Proto.Commit_notify _
       | Proto.Reclaim_req _ | Proto.Page_invalidate _ | Proto.Create_req _
       | Proto.Link_count _ | Proto.Set_attr _ | Proto.Stat_req _
-      | Proto.Where_stored _
+      | Proto.Where_stored _ | Proto.Lookup_req _
       | Proto.Token_req _ | Proto.Token_state_req _ | Proto.Fork_req _
       | Proto.Exec_req _ | Proto.Run_req _ | Proto.Signal_req _
       | Proto.Exit_notify _ | Proto.Open_files_query _ | Proto.Pack_inventory _

@@ -1,0 +1,360 @@
+(* The §2.3.4 pathname-resolution fast path: the per-site name cache and
+   server-side partial-pathname lookup — coherence after cross-site
+   directory changes, stop conditions of the server walk, message counts,
+   and both ablations. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Pathname = Locus_core.Pathname
+module Namecache = Locus_core.Namecache
+module K = Locus_core.Ktypes
+module Mount = Catalog.Mount
+module Gfile = Catalog.Gfile
+module Stats = Sim.Stats
+
+let check = Alcotest.check
+
+(* All sites store the root filegroup: commit notifications reach every
+   cache. *)
+let full_world ?kconfig () =
+  let base = World.default_config ~n_sites:4 () in
+  let kernel_config = Option.value kconfig ~default:base.World.kernel_config in
+  World.create ~config:{ base with World.kernel_config } ()
+
+(* Only site 0 stores anything: sites 1..2 resolve fully remotely and are
+   never notified of commits — the cache must stay safe without that. *)
+let asym_world ?kconfig ?(machine_type = fun _ -> "vax") () =
+  let base = World.default_config ~n_sites:3 () in
+  let kernel_config = Option.value kconfig ~default:base.World.kernel_config in
+  World.create
+    ~config:
+      { base with
+        World.filegroups = [ { World.fg = 0; pack_sites = [ 0 ]; mount_path = None } ];
+        kernel_config;
+        machine_type;
+      }
+    ()
+
+let msgs w snap = Stats.delta_of (World.stats w) snap "net.msg"
+
+(* ---- coherence ---- *)
+
+(* A rename at one site must kill the cached link at every other site
+   storing the directory: the commit notification carries the new version
+   vector, and links recorded under the old one are dropped. *)
+let test_rename_invalidates_remote_cache () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.mkdir k0 p0 "/d");
+  ignore (Kernel.creat k0 p0 "/d/old");
+  Kernel.write_file k0 p0 "/d/old" "payload";
+  ignore (World.settle w);
+  let k3 = World.kernel w 3 and p3 = World.proc w 3 in
+  (* Warm site 3's cache through a real resolution. *)
+  check Alcotest.string "before rename" "payload" (Kernel.read_file k3 p3 "/d/old");
+  Kernel.rename k0 p0 ~from_path:"/d/old" ~to_path:"/d/new";
+  ignore (World.settle w);
+  (match Kernel.read_file k3 p3 "/d/old" with
+  | _ -> Alcotest.fail "stale cached link resolved a renamed-away name"
+  | exception K.Error (Proto.Enoent, _) -> ());
+  check Alcotest.string "new name resolves" "payload" (Kernel.read_file k3 p3 "/d/new")
+
+let test_unlink_invalidates_remote_cache () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 4;
+  ignore (Kernel.mkdir k0 p0 "/d");
+  ignore (Kernel.creat k0 p0 "/d/f");
+  Kernel.write_file k0 p0 "/d/f" "x";
+  ignore (World.settle w);
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "cached" "x" (Kernel.read_file k2 p2 "/d/f");
+  Kernel.unlink k0 p0 "/d/f";
+  ignore (World.settle w);
+  match Kernel.read_file k2 p2 "/d/f" with
+  | _ -> Alcotest.fail "unlinked file still resolved through the cache"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+(* A site that stores nothing gets no commit notification, so its cached
+   link MAY go stale — but a stale link must never reach a deleted inode's
+   data: the CSS open check is the backstop. *)
+let test_stale_entry_never_serves_deleted_inode () =
+  let w = asym_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/d");
+  ignore (Kernel.creat k0 p0 "/d/doomed");
+  Kernel.write_file k0 p0 "/d/doomed" "secret";
+  ignore (World.settle w);
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "resolves while alive" "secret"
+    (Kernel.read_file k2 p2 "/d/doomed");
+  Kernel.unlink k0 p0 "/d/doomed";
+  ignore (World.settle w);
+  (* Site 2 still holds the (now stale) link; opening through it must
+     fail, not serve the dead inode. *)
+  match Kernel.read_file k2 p2 "/d/doomed" with
+  | _ -> Alcotest.fail "deleted inode served through a stale cached link"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+(* The unlinking site itself drops its links immediately (its own commit
+   notification never loops back). *)
+let test_local_unlink_drops_link () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/d");
+  ignore (Kernel.creat k0 p0 "/d/f");
+  Kernel.write_file k0 p0 "/d/f" "x";
+  ignore (World.settle w);
+  check Alcotest.string "warm" "x" (Kernel.read_file k0 p0 "/d/f");
+  Kernel.unlink k0 p0 "/d/f";
+  match Kernel.read_file k0 p0 "/d/f" with
+  | _ -> Alcotest.fail "expected ENOENT after local unlink"
+  | exception K.Error (Proto.Enoent, _) -> ()
+
+(* ---- the server-side walk's stop conditions ---- *)
+
+let multifg_world () =
+  let base = World.default_config ~n_sites:4 () in
+  let config =
+    { base with
+      World.filegroups =
+        [
+          { World.fg = 0; pack_sites = [ 0; 1; 2; 3 ]; mount_path = None };
+          { World.fg = 1; pack_sites = [ 2; 3 ]; mount_path = Some "/usr" };
+        ]
+    }
+  in
+  let w = World.create ~config () in
+  World.mount_filegroups w;
+  w
+
+(* The server walk consumes the component naming a mount point but never
+   crosses it: crossing through the replicated mount table is the using
+   site's job, and the returned gfile is the uncrossed mount point. *)
+let test_lookup_stops_at_mount_point () =
+  let w = multifg_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/usr/sub");
+  ignore (World.settle w);
+  let root = Mount.root k0.K.mount in
+  match Pathname.handle_lookup k0 root [ "usr"; "sub" ] with
+  | Proto.R_lookup { gf; consumed; trail } ->
+    check Alcotest.int "consumed only the mount-point component" 1 consumed;
+    check Alcotest.int "one trail step" 1 (List.length trail);
+    check Alcotest.int "stopped in the covering filegroup" 0 gf.Gfile.fg;
+    check Alcotest.bool "on the mount point itself" true
+      (Mount.mounted_at k0.K.mount gf = Some 1)
+  | _ -> Alcotest.fail "expected R_lookup"
+
+(* The walk consumes the component naming a hidden directory and stops on
+   it: the '@' escape and context expansion are per-process, using-site
+   business. *)
+let test_lookup_stops_at_hidden_directory () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/bin");
+  ignore (Kernel.mkdir ~hidden:true k0 p0 "/bin/who");
+  ignore (Kernel.creat k0 p0 "/bin/who/@vax");
+  Kernel.write_file k0 p0 "/bin/who/@vax" "vax load module";
+  ignore (World.settle w);
+  let root = Mount.root k0.K.mount in
+  match Pathname.handle_lookup k0 root [ "bin"; "who"; "@vax" ] with
+  | Proto.R_lookup { gf; consumed; trail } ->
+    check Alcotest.int "stopped on the hidden directory" 2 consumed;
+    let last = List.nth trail (List.length trail - 1) in
+    check Alcotest.bool "trail marks it hidden" true
+      (last.Proto.l_ftype = Some Storage.Inode.Hidden_directory);
+    check Alcotest.bool "returned the hidden directory" true
+      (Gfile.equal gf last.Proto.l_child)
+  | _ -> Alcotest.fail "expected R_lookup"
+
+(* A dangling entry (live link, deleted inode — transiently possible under
+   unsynchronized reads) must stop the walk unconsumed, so no trail step
+   ever advertises a deleted inode to remote caches. *)
+let test_lookup_never_returns_deleted_inode () =
+  let w = full_world () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/d");
+  ignore (Kernel.creat k0 p0 "/d/f");
+  ignore (World.settle w);
+  let gf = Kernel.resolve k0 p0 "/d/f" in
+  (* Delete the inode behind the directory's back. *)
+  let pack = Hashtbl.find k0.K.packs 0 in
+  (Storage.Pack.get_inode pack gf.Gfile.ino).Storage.Inode.deleted <- true;
+  let root = Mount.root k0.K.mount in
+  match Pathname.handle_lookup k0 root [ "d"; "f" ] with
+  | Proto.R_lookup { consumed; trail; _ } ->
+    check Alcotest.int "stopped before the dead inode" 1 consumed;
+    List.iter
+      (fun (s : Proto.lookup_step) ->
+        check Alcotest.bool "no trail step names the dead inode" false
+          (Gfile.equal s.Proto.l_child gf))
+      trail
+  | _ -> Alcotest.fail "expected R_lookup"
+
+(* End-to-end: a packless site resolves through a hidden directory, both
+   by context and by escape, with the fast path on. *)
+let test_remote_resolution_through_hidden_dir () =
+  let w = asym_world ~machine_type:(fun s -> if s = 2 then "pdp11" else "vax") () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  ignore (Kernel.mkdir k0 p0 "/bin");
+  ignore (Kernel.mkdir ~hidden:true k0 p0 "/bin/who");
+  ignore (Kernel.creat k0 p0 "/bin/who/@vax");
+  Kernel.write_file k0 p0 "/bin/who/@vax" "vax load module";
+  ignore (Kernel.creat k0 p0 "/bin/who/@pdp11");
+  Kernel.write_file k0 p0 "/bin/who/@pdp11" "pdp11 load module";
+  ignore (World.settle w);
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "context selects the pdp11 module" "pdp11 load module"
+    (Kernel.read_file k2 p2 "/bin/who");
+  check Alcotest.string "escape overrides the context" "vax load module"
+    (Kernel.read_file k2 p2 "/bin/who/@vax");
+  (* Warm repeats, exercising the cached links. *)
+  check Alcotest.string "warm context" "pdp11 load module"
+    (Kernel.read_file k2 p2 "/bin/who");
+  check Alcotest.string "warm escape" "vax load module"
+    (Kernel.read_file k2 p2 "/bin/who/@vax")
+
+(* ---- message counts and ablations ---- *)
+
+let deep_tree w depth =
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  let rec mk prefix i =
+    if i > depth then begin
+      ignore (Kernel.creat k0 p0 (prefix ^ "/leaf"));
+      Kernel.write_file k0 p0 (prefix ^ "/leaf") "x"
+    end
+    else begin
+      let dir = prefix ^ "/d" ^ string_of_int i in
+      ignore (Kernel.mkdir k0 p0 dir);
+      mk dir (i + 1)
+    end
+  in
+  mk "" 1;
+  ignore (World.settle w);
+  let rec path acc i =
+    if i > depth then acc ^ "/leaf" else path (acc ^ "/d" ^ string_of_int i) (i + 1)
+  in
+  path "" 1
+
+let resolve_msgs w site path =
+  let k = World.kernel w site and p = World.proc w site in
+  let snap = Stats.snapshot (World.stats w) in
+  ignore (Kernel.resolve k p path);
+  msgs w snap
+
+(* The headline numbers: one round trip cold at depth 6 (the E13 slow
+   path needs 46 messages), nothing at all warm. *)
+let test_remote_depth6_message_counts () =
+  let w = asym_world () in
+  let path = deep_tree w 6 in
+  let cold = resolve_msgs w 2 path in
+  let warm = resolve_msgs w 2 path in
+  check Alcotest.bool "cold resolution within one round trip budget" true (cold <= 10);
+  check Alcotest.int "warm resolution is free" 0 warm;
+  check Alcotest.bool "cache actually holds the trail" true
+    (Namecache.length (World.kernel w 2).K.name_cache >= 7)
+
+let test_ablation_no_remote_lookup () =
+  let kconfig = { K.default_config with K.remote_lookup = false } in
+  let w = asym_world ~kconfig () in
+  let path = deep_tree w 3 in
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "resolves without the server walk" "x"
+    (Kernel.read_file k2 p2 path);
+  let warm = resolve_msgs w 2 path in
+  check Alcotest.int "cache alone still makes warm walks free" 0 warm;
+  check Alcotest.int "no server-side walks ran" 0
+    (Stats.get (World.stats w) "name.remote_walks")
+
+let test_ablation_no_cache () =
+  let kconfig = { K.default_config with K.name_cache_entries = 0 } in
+  let w = asym_world ~kconfig () in
+  let path = deep_tree w 3 in
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "resolves with the cache off" "x" (Kernel.read_file k2 p2 path);
+  check Alcotest.int "nothing was cached" 0
+    (Namecache.length k2.K.name_cache);
+  (* Still one round trip per walk thanks to the server-side half. *)
+  let again = resolve_msgs w 2 path in
+  check Alcotest.bool "each walk pays one round trip" true (again >= 2 && again <= 10)
+
+let test_ablation_neither () =
+  let kconfig =
+    { K.default_config with K.name_cache_entries = 0; remote_lookup = false }
+  in
+  let w = asym_world ~kconfig () in
+  let path = deep_tree w 3 in
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  check Alcotest.string "slow path still correct" "x" (Kernel.read_file k2 p2 path)
+
+(* ---- the generic LRU core ---- *)
+
+module Slru = Storage.Lru.Make (struct
+  type t = int
+
+  let copy v = v
+end)
+
+let test_lru_filter_out () =
+  let c = Slru.create ~capacity:8 () in
+  List.iter (fun i -> Slru.insert c i (i * 10)) [ 1; 2; 3; 4; 5 ];
+  let dropped = Slru.filter_out c (fun k v -> k mod 2 = 0 && v >= 20) in
+  check Alcotest.int "dropped the matching entries" 2 dropped;
+  check Alcotest.int "rest survive" 3 (Slru.length c);
+  check Alcotest.bool "odd keys intact" true
+    (Slru.find c 3 = Some 30 && Slru.find c 5 = Some 50 && Slru.find c 1 = Some 10);
+  check Alcotest.bool "dropped keys gone" true
+    (Slru.find c 2 = None && Slru.find c 4 = None)
+
+let test_lru_eviction_order () =
+  let evicted = ref [] in
+  let c = Slru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:2 () in
+  Slru.insert c 1 1;
+  Slru.insert c 2 2;
+  ignore (Slru.find c 1); (* 1 becomes MRU *)
+  Slru.insert c 3 3;      (* 2 is LRU: out *)
+  check Alcotest.(list int) "LRU evicted" [ 2 ] !evicted;
+  check Alcotest.(list int) "recency order" [ 3; 1 ] (Slru.keys_mru c)
+
+let () =
+  Alcotest.run "namecache"
+    [
+      ( "coherence",
+        [
+          Alcotest.test_case "rename invalidates remote caches" `Quick
+            test_rename_invalidates_remote_cache;
+          Alcotest.test_case "unlink invalidates remote caches" `Quick
+            test_unlink_invalidates_remote_cache;
+          Alcotest.test_case "stale entry never serves a deleted inode" `Quick
+            test_stale_entry_never_serves_deleted_inode;
+          Alcotest.test_case "local unlink drops the link" `Quick
+            test_local_unlink_drops_link;
+        ] );
+      ( "server walk",
+        [
+          Alcotest.test_case "stops at a mount point" `Quick
+            test_lookup_stops_at_mount_point;
+          Alcotest.test_case "stops at a hidden directory" `Quick
+            test_lookup_stops_at_hidden_directory;
+          Alcotest.test_case "never returns a deleted inode" `Quick
+            test_lookup_never_returns_deleted_inode;
+          Alcotest.test_case "remote resolution through a hidden directory" `Quick
+            test_remote_resolution_through_hidden_dir;
+        ] );
+      ( "messages and ablations",
+        [
+          Alcotest.test_case "depth-6 cold/warm message counts" `Quick
+            test_remote_depth6_message_counts;
+          Alcotest.test_case "ablation: remote lookup off" `Quick
+            test_ablation_no_remote_lookup;
+          Alcotest.test_case "ablation: cache off" `Quick test_ablation_no_cache;
+          Alcotest.test_case "ablation: both off" `Quick test_ablation_neither;
+        ] );
+      ( "lru core",
+        [
+          Alcotest.test_case "filter_out" `Quick test_lru_filter_out;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+        ] );
+    ]
