@@ -112,7 +112,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   Printf.printf
     "LOCUS reproduction benchmark harness (see EXPERIMENTS.md for the index)\n";
-  match args with
+  (match args with
   | [] ->
     List.iter (fun e -> e ()) Experiments.all;
     run_micro ()
@@ -127,4 +127,6 @@ let () =
           else
             Printf.eprintf "unknown experiment %S (e1..e%d, micro)\n" name
               (List.length Experiments.all))
-      names
+      names);
+  (* Experiments that recorded metrics get a BENCH_<n>.json for CI. *)
+  Report.write_metrics ()

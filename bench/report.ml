@@ -93,6 +93,71 @@ let name_cache_table ?(title = "name-cache effectiveness") stats =
         ];
       ]
 
+(* Bulk-transfer counters: how many batched RPCs each path issued and how
+   many pages the average batch carried. *)
+let bulk_table ?(title = "bulk-transfer effectiveness") stats =
+  let rows =
+    List.filter_map
+      (fun (label, batches_key, pages_key) ->
+        let batches = Sim.Stats.get stats batches_key in
+        let pages = Sim.Stats.get stats pages_key in
+        if batches = 0 then None
+        else
+          Some
+            [ label; i batches; i pages;
+              Printf.sprintf "%.1f" (float_of_int pages /. float_of_int batches) ])
+      [
+        ("streaming read", "us.bulk.read", "us.bulk.read.pages");
+        ("write-behind", "us.bulk.write", "us.bulk.write.pages");
+        ("propagation pull", "prop.bulk", "prop.bulk.pages");
+      ]
+  in
+  if rows <> [] then
+    table ~title ~header:[ "path"; "batched RPCs"; "pages"; "pages/RPC" ] rows
+
+(* ---- machine-readable output (BENCH_<experiment>.json) ---- *)
+
+(* Experiments record named numeric metrics as they run; the harness entry
+   point dumps one BENCH_<experiment>.json per experiment that recorded
+   any, so CI can compare runs without scraping the tables. *)
+let metrics : (string * (string * float) list ref) list ref = ref []
+
+let metric ~experiment name value =
+  let bucket =
+    match List.assoc_opt experiment !metrics with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      metrics := (experiment, b) :: !metrics;
+      b
+  in
+  bucket := (name, value) :: !bucket
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let write_metrics () =
+  List.iter
+    (fun (experiment, bucket) ->
+      if !bucket <> [] then begin
+        let path = Printf.sprintf "BENCH_%s.json" experiment in
+        let oc = open_out path in
+        let entries = List.rev !bucket in
+        let n = List.length entries in
+        output_string oc "{\n";
+        List.iteri
+          (fun idx (name, v) ->
+            Printf.fprintf oc "  %S: %s%s\n" name (json_number v)
+              (if idx < n - 1 then "," else ""))
+          entries;
+        output_string oc "}\n";
+        close_out oc;
+        Printf.printf "wrote %s (%d metrics)\n" path n
+      end)
+    (List.rev !metrics)
+
 let section name what =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" name;

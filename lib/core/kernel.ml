@@ -353,6 +353,7 @@ let handle_site_failure k dead =
         match o.o_mode with
         | Proto.Mode_modify ->
           (* Discard pages, set error in the local file descriptor. *)
+          o.o_wb <- None;
           o.o_dirty <- false;
           o.o_closed <- true;
           Sim.Stats.incr (stats k) "cleanup.us.update_lost";

@@ -30,6 +30,10 @@ type config = {
   propagation_delay : float; (* ms before the kernel propagation process runs a pull *)
   name_cache_entries : int;  (* pathname name-cache entries; 0 disables (2.3.4) *)
   remote_lookup : bool;      (* ship partial pathnames to a storage site (2.3.4) *)
+  bulk_window : int;
+  (* maximum pages per bulk transfer: streaming-read fetch window,
+     write-behind batch size, and propagation pull batch. 1 disables the
+     bulk layer entirely and reproduces the one-page-per-RTT protocols. *)
 }
 
 let default_config =
@@ -42,6 +46,7 @@ let default_config =
     propagation_delay = 2.0;
     name_cache_entries = 512;
     remote_lookup = true;
+    bulk_window = 8;
   }
 
 (* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
@@ -60,6 +65,11 @@ type css_fg = { css_files : (int, css_file) Hashtbl.t }
 
 (* ---- US state: incore inodes for open files (2.3.3) ---- *)
 
+(* A write-behind run: adjacent write chunks coalesce into one buffer and
+   travel to the SS as a single [Write_pages] batch. *)
+type wb_run = { wb_off : int; (* absolute byte offset of the run's start *)
+                wb_buf : Buffer.t }
+
 type ofile = {
   o_gf : Gfile.t;
   o_serial : int;  (* distinguishes simultaneous opens of the same file *)
@@ -70,6 +80,12 @@ type ofile = {
   mutable o_dirty : bool;   (* uncommitted modifications have been sent to the SS *)
   mutable o_last_lpage : int; (* last page read, drives sequential readahead *)
   mutable o_guess : int; (* the SS's incore-inode slot, sent with page reads *)
+  mutable o_window : int; (* streaming fetch window, pages: grows 1->2->4->..
+                             on sequential reads, resets to 1 on a seek *)
+  mutable o_ra_frontier : int; (* first page NOT yet requested ahead *)
+  mutable o_inflight : (int * int) list; (* scheduled readahead (first, count)
+                                            ranges, to dedup overlapping fetches *)
+  mutable o_wb : wb_run option; (* pending write-behind run, if any *)
   mutable o_closed : bool;
 }
 
@@ -151,8 +167,9 @@ type t = {
   name_cache : Namecache.t;
   (* (directory, component) -> child links, vv-validated (section 2.3.4) *)
   mutable prop_pending : Gfile.Set.t;
-  prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
-  (* file, target version, modified pages ([] = whole file), retries left *)
+  prop_queue : (Gfile.t * Vvec.t * int list * int * float) Queue.t;
+  (* file, target version, modified pages ([] = whole file), retries left,
+     earliest-retry time (simulated ms; backed off after a failed pull) *)
   shared_fds : (fd_key, shared_fd) Hashtbl.t;
   procs : (int, proc) Hashtbl.t;
   pipe_bufs : (Gfile.t, string ref) Hashtbl.t;   (* SS-side fifo contents *)

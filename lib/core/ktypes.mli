@@ -28,6 +28,10 @@ type config = {
   propagation_delay : float; (** ms before the propagation kernel process runs *)
   name_cache_entries : int;  (** pathname name-cache entries; 0 disables (§2.3.4) *)
   remote_lookup : bool;      (** ship partial pathnames to a storage site (§2.3.4) *)
+  bulk_window : int;
+      (** maximum pages per bulk transfer: streaming-read fetch window,
+          write-behind batch size, and propagation pull batch. 1 disables
+          the bulk layer and reproduces the one-page-per-RTT protocols. *)
 }
 
 val default_config : config
@@ -50,6 +54,10 @@ type css_fg = { css_files : (int, css_file) Hashtbl.t }
 
 (** {1 US state: incore inodes for open files (§2.3.3)} *)
 
+type wb_run = { wb_off : int; wb_buf : Buffer.t }
+(** A write-behind run: adjacent write chunks coalesced at the US, sent to
+    the SS as one [Write_pages] batch at the next flush point. *)
+
 type ofile = {
   o_gf : Gfile.t;
   o_serial : int; (** distinguishes simultaneous opens of the same file *)
@@ -60,6 +68,13 @@ type ofile = {
   mutable o_dirty : bool;   (** uncommitted modifications sent to the SS *)
   mutable o_last_lpage : int; (** drives the sequential readahead *)
   mutable o_guess : int; (** the SS's incore-inode slot, sent with page reads *)
+  mutable o_window : int;
+      (** streaming fetch window, pages: doubles on sequential reads up to
+          [config.bulk_window], resets to 1 on a seek *)
+  mutable o_ra_frontier : int; (** first page not yet requested ahead *)
+  mutable o_inflight : (int * int) list;
+      (** scheduled readahead ranges (first, count), deduping overlaps *)
+  mutable o_wb : wb_run option; (** pending write-behind run *)
   mutable o_closed : bool;
 }
 
@@ -146,8 +161,9 @@ type t = {
   name_cache : Namecache.t;
       (** (directory, component) → child links, vv-validated (§2.3.4) *)
   mutable prop_pending : Gfile.Set.t;
-  prop_queue : (Gfile.t * Vvec.t * int list * int) Queue.t;
-      (** file, target version, modified pages ([] = all), retries left *)
+  prop_queue : (Gfile.t * Vvec.t * int list * int * float) Queue.t;
+      (** file, target version, modified pages ([] = all), retries left,
+          earliest-retry time (backed off after a failed pull) *)
   shared_fds : (fd_key, shared_fd) Hashtbl.t;
   procs : (int, proc) Hashtbl.t;
   pipe_bufs : (Gfile.t, string ref) Hashtbl.t;

@@ -67,6 +67,17 @@ let apply_delete k pack gf ~vv =
       report_to_css k gf vv ~deleted:true
     end
 
+(* Group an ascending page list into (first, count) runs of consecutive
+   pages, each at most [cap] long. *)
+let runs_of ~cap pages =
+  let rec go acc first len = function
+    | p :: rest when p = first + len && len < cap -> go acc first (len + 1) rest
+    | rest -> (
+      let acc = (first, len) :: acc in
+      match rest with [] -> List.rev acc | p :: rest -> go acc p 1 rest)
+  in
+  match pages with [] -> [] | p :: rest -> go [] p 1 rest
+
 (* Pull the current version of [gf] from [source]. Uses the standard stat +
    page-read messages; charges disk costs through the normal paths. *)
 let pull_from k pack gf ~source ~modified =
@@ -112,22 +123,41 @@ let pull_from k pack gf ~source ~modified =
           then List.filter (fun p -> p < npages) modified
           else List.init npages Fun.id
         in
+        (* Consecutive pages travel as one bulk read of at most a window;
+           lone pages keep the single-page message. *)
+        let cap = max 1 k.config.bulk_window in
+        let fetch_run ~first ~count =
+          if count = 1 then
+            match rpc k source (Proto.Read_page { gf; lpage = first; guess = 0 }) with
+            | Proto.R_page { data; _ } -> [ data ]
+            | Proto.R_err e -> err e "propagation read failed"
+            | _ -> err Proto.Eio "unexpected response to propagation read"
+          else
+            match rpc k source (Proto.Read_pages { gf; first; count; guess = 0 }) with
+            | Proto.R_pages { pages; _ } ->
+              Sim.Stats.incr (stats k) "prop.bulk";
+              Sim.Stats.add (stats k) "prop.bulk.pages" (List.length pages);
+              pages
+            | Proto.R_err e -> err e "propagation read failed"
+            | _ -> err Proto.Eio "unexpected response to propagation read"
+        in
         let ok = ref true in
         (try
            List.iter
-             (fun lpage ->
-               match rpc k source (Proto.Read_page { gf; lpage; guess = 0 }) with
-               | Proto.R_page { data; _ } ->
-                 charge_disk_write k;
-                 (* Rename the network buffer and send it to secondary
-                    storage: no copy through an application space. *)
-                 Shadow.write_page session ~lpage (Page.of_string data)
-               | Proto.R_err e -> err e "propagation read failed"
-               | _ -> err Proto.Eio "unexpected response to propagation read")
-             pages_to_pull;
-           Shadow.truncate session info.Proto.i_size;
-           if info.Proto.i_size > (Shadow.incore session).Inode.size then
-             (Shadow.incore session).Inode.size <- info.Proto.i_size;
+             (fun (first, count) ->
+               let pages = fetch_run ~first ~count in
+               List.iteri
+                 (fun i data ->
+                   charge_disk_write k;
+                   (* Rename the network buffer and send it to secondary
+                      storage: no copy through an application space. *)
+                   Shadow.write_page session ~lpage:(first + i) (Page.of_string data))
+                 pages)
+             (runs_of ~cap pages_to_pull);
+           (* Exactly the source's size: write_page grew past a shrunk
+              size, and a pure truncate at the source modified no page at
+              all — either way the local copy must not keep a stale tail. *)
+           Shadow.set_size session info.Proto.i_size;
            Shadow.commit session ~vv:info.Proto.i_vv ~mtime:info.Proto.i_mtime;
            invalidate_stale k gf ~vv:info.Proto.i_vv;
            (* The local copy just jumped versions: links cached from any
@@ -169,30 +199,54 @@ let attempt k gf target_vv modified =
       | Ok _ -> false
       | Stdlib.Error _ -> false))
 
+(* Attempt one queued item; a failure with retries left re-queues it, not
+   to be retried before [backoff] ms from now. *)
+let service_item k (gf, vv, modified, retries, _) ~backoff =
+  k.prop_pending <- Gfile.Set.remove gf k.prop_pending;
+  let done_ =
+    if k.alive then begin
+      try attempt k gf vv modified
+      with Error (e, m) ->
+        record k ~tag:"prop.fail"
+          (Format.asprintf "%a %s: %s" Gfile.pp gf (Proto.errno_to_string e) m);
+        false
+    end
+    else false
+  in
+  if (not done_) && retries > 0 && k.alive then begin
+    k.prop_pending <- Gfile.Set.add gf k.prop_pending;
+    Queue.add (gf, vv, modified, retries - 1, now k +. backoff) k.prop_queue
+  end
+
+let earliest_retry k =
+  Queue.fold (fun acc (_, _, _, _, nb) -> min acc nb) infinity k.prop_queue
+
 let rec service_queue k =
-  match Queue.take_opt k.prop_queue with
-  | None -> ()
-  | Some (gf, vv, modified, retries) ->
-    k.prop_pending <- Gfile.Set.remove gf k.prop_pending;
-    let done_ =
-      if k.alive then begin
-        try attempt k gf vv modified
-        with Error (e, m) ->
-          record k ~tag:"prop.fail"
-            (Format.asprintf "%a %s: %s" Gfile.pp gf (Proto.errno_to_string e) m);
-          false
-      end
-      else false
+  (* Rotate past items still backing off after a failed pull — servicing
+     them at the normal delay would defeat the 10x backoff. *)
+  let due =
+    let n = Queue.length k.prop_queue in
+    let rec take i =
+      if i >= n then None
+      else
+        match Queue.take_opt k.prop_queue with
+        | None -> None
+        | Some ((_, _, _, _, nb) as item) ->
+          if nb <= now k then Some item
+          else begin
+            Queue.add item k.prop_queue;
+            take (i + 1)
+          end
     in
-    if (not done_) && retries > 0 && k.alive then begin
-      k.prop_pending <- Gfile.Set.add gf k.prop_pending;
-      Queue.add (gf, vv, modified, retries - 1) k.prop_queue;
-      Engine.schedule k.engine ~delay:(10.0 *. k.config.propagation_delay) (fun () ->
-          service_queue k)
-    end;
-    if not (Queue.is_empty k.prop_queue) then
-      Engine.schedule k.engine ~delay:k.config.propagation_delay (fun () ->
-          service_queue k)
+    take 0
+  in
+  (match due with
+  | None -> ()
+  | Some item -> service_item k item ~backoff:(10.0 *. k.config.propagation_delay));
+  if not (Queue.is_empty k.prop_queue) then begin
+    let delay = max k.config.propagation_delay (earliest_retry k -. now k) in
+    Engine.schedule k.engine ~delay (fun () -> service_queue k)
+  end
 
 (* Called when a commit notification arrives at a storage site. A site
    pulls only files it already stores — packs hold a subset of the
@@ -211,16 +265,21 @@ let enqueue k gf ~vv ~modified ~designate =
   in
   if interested && (not current) && not (Gfile.Set.mem gf k.prop_pending) then begin
     k.prop_pending <- Gfile.Set.add gf k.prop_pending;
-    Queue.add (gf, vv, modified, 3) k.prop_queue;
+    Queue.add (gf, vv, modified, 3, now k) k.prop_queue;
     Engine.schedule k.engine ~delay:k.config.propagation_delay (fun () ->
         service_queue k)
   end
 
 (* Synchronously drain this kernel's propagation queue (used by recovery,
-   which schedules update propagation as part of merge). *)
+   which schedules update propagation as part of merge, and by the
+   simulation's settle points). Retry backoff is ignored: drain's callers
+   want the queue emptied now, attempting each item until it succeeds or
+   runs out of retries. *)
 let drain k =
   let guard = ref 0 in
   while (not (Queue.is_empty k.prop_queue)) && !guard < 1000 do
     incr guard;
-    service_queue k
+    match Queue.take_opt k.prop_queue with
+    | None -> ()
+    | Some item -> service_item k item ~backoff:0.0
   done

@@ -96,6 +96,43 @@ let handle_read_page ?(guess = 0) k gf lpage =
       let eof = (lpage + 1) * Page.size >= size in
       Proto.R_page { data = Page.sub page 0 len; eof })
 
+(* Serve up to [count] consecutive pages in one response — the bulk-read
+   half of the transfer layer. Disk and cache accounting is identical to
+   [count] single reads; only the message count changes. The reply is
+   trimmed at end of file, with [eof] telling the US the stream is done. *)
+let handle_read_pages ?(guess = 0) k gf ~first ~count =
+  (match Hashtbl.find_opt k.ss_slots guess with
+  | Some g when Gfile.equal g gf -> Sim.Stats.incr (stats k) "ss.guess.hit"
+  | Some _ | None -> Sim.Stats.incr (stats k) "ss.guess.miss");
+  if first < 0 || count <= 0 then Proto.R_err Proto.Einval
+  else
+    match local_pack k gf.Gfile.fg with
+    | None -> Proto.R_err Proto.Eio
+    | Some pack -> (
+      match Pack.find_inode pack gf.Gfile.ino with
+      | None -> Proto.R_err Proto.Enoent
+      | Some inode ->
+        let read_page, size =
+          match find_open k gf with
+          | Some { s_shadow = Some session; _ } ->
+            ( (fun lpage ->
+                charge_disk_read k;
+                Shadow.read_page session lpage),
+              (Shadow.incore session).Inode.size )
+          | Some { s_shadow = None; _ } | None ->
+            ((fun lpage -> cached_pack_page k pack gf inode lpage), inode.Inode.size)
+        in
+        let npages = (size + Page.size - 1) / Page.size in
+        let last = min (first + count) npages in
+        let pages = ref [] in
+        for lpage = last - 1 downto first do
+          let page = read_page lpage in
+          let remaining = size - (lpage * Page.size) in
+          let len = max 0 (min Page.size remaining) in
+          pages := Page.sub page 0 len :: !pages
+        done;
+        Proto.R_pages { pages = !pages; eof = last >= npages })
+
 let ensure_session k pack gf =
   let s = get_open k gf in
   match s.s_shadow with
@@ -133,6 +170,45 @@ let handle_write_page k ~src gf ~lpage ~whole ~off ~data =
       Cache.invalidate_if k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
       invalidate_others k gf ~writer:src lpage;
       Proto.R_ok)
+
+(* Receive one coalesced write-behind batch: a contiguous byte run from
+   offset [off] within page [first], split back into per-page shadow
+   writes. Page-aligned full pages enter whole (no read); the run's ragged
+   head and tail patch. Effects per page — disk charge, SS-cache
+   invalidation, page-valid invalidations at other USs — match what the
+   same bytes arriving as single [Write_page]s would do, so the batch is
+   idempotent and safe to retry. *)
+let handle_write_pages k ~src gf ~first ~off ~data =
+  let len = String.length data in
+  if first < 0 || off < 0 || off >= Page.size then Proto.R_err Proto.Einval
+  else if len = 0 then Proto.R_ok
+  else
+    match local_pack k gf.Gfile.fg with
+    | None -> Proto.R_err Proto.Eio
+    | Some pack -> (
+      match Pack.find_inode pack gf.Gfile.ino with
+      | None -> Proto.R_err Proto.Enoent
+      | Some _ ->
+        let session = ensure_session k pack gf in
+        let base = (first * Page.size) + off in
+        let rec loop pos =
+          if pos < len then begin
+            let abs = base + pos in
+            let lpage = abs / Page.size in
+            let poff = abs mod Page.size in
+            let n = min (Page.size - poff) (len - pos) in
+            let chunk = String.sub data pos n in
+            charge_disk_write k;
+            if poff = 0 && n = Page.size then
+              Shadow.write_page session ~lpage (Page.of_string chunk)
+            else Shadow.patch_page session ~lpage ~off:poff chunk;
+            Cache.invalidate_if k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+            invalidate_others k gf ~writer:src lpage;
+            loop (pos + n)
+          end
+        in
+        loop 0;
+        Proto.R_ok)
 
 let handle_truncate k gf ~size =
   match local_pack k gf.Gfile.fg with

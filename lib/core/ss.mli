@@ -27,6 +27,13 @@ val handle_read_page : ?guess:int -> Ktypes.t -> Catalog.Gfile.t -> int -> Proto
     hint for locating the incore inode (§2.3.3); hits and misses are
     counted in the statistics. *)
 
+val handle_read_pages :
+  ?guess:int -> Ktypes.t -> Catalog.Gfile.t -> first:int -> count:int -> Proto.resp
+(** Serve up to [count] consecutive pages from [first] in one response
+    (the bulk-read half of the transfer layer). Same per-page disk and
+    cache accounting as single reads; the reply is trimmed at end of
+    file. *)
+
 val handle_write_page :
   Ktypes.t ->
   src:Net.Site.t ->
@@ -38,6 +45,19 @@ val handle_write_page :
   Proto.resp
 (** One page of modification into the shadow session; invalidates other
     using sites' buffered copies (the page-valid tokens of §3.2). *)
+
+val handle_write_pages :
+  Ktypes.t ->
+  src:Net.Site.t ->
+  Catalog.Gfile.t ->
+  first:int ->
+  off:int ->
+  data:string ->
+  Proto.resp
+(** One coalesced write-behind batch: a contiguous byte run from offset
+    [off] within page [first], split back into per-page shadow writes.
+    Idempotent (absolute positioning), so safe to retry after a suspected
+    message loss. *)
 
 val handle_truncate : Ktypes.t -> Catalog.Gfile.t -> size:int -> Proto.resp
 

@@ -60,6 +60,14 @@ let install_remote_fd k ~key ~gf ~mode =
     Hashtbl.add k.shared_fds key fd;
     fd
 
+(* Yielding the token makes this site's writes readable by the next
+   holder through the shared offset: any write-behind run must reach the
+   SS before the token leaves. *)
+let flush_before_yield k fd =
+  match fd.f_ofile with
+  | Some o when not o.o_closed -> ( try Us.flush_writes k o with Error _ -> ())
+  | Some _ | None -> ()
+
 (* Manager side: grant the token to [for_site], recalling it from the
    current holder first. *)
 let handle_token_req k key ~for_site =
@@ -71,6 +79,7 @@ let handle_token_req k key ~for_site =
     else begin
       let offset =
         if Site.equal fd.f_holder k.site then begin
+          flush_before_yield k fd;
           fd.f_valid <- false;
           Some fd.f_offset
         end
@@ -104,6 +113,7 @@ let handle_token_state_req k key =
   match find_fd k key with
   | None -> Proto.R_err Proto.Einval
   | Some fd ->
+    flush_before_yield k fd;
     fd.f_valid <- false;
     Proto.R_token { granted = true; state = string_of_int fd.f_offset }
 

@@ -58,6 +58,10 @@ let open_gf ?(shared = false) k gf mode =
            the readahead window immediately. *)
         o_last_lpage = -1;
         o_guess = slot;
+        o_window = 1;
+        o_ra_frontier = 0;
+        o_inflight = [];
+        o_wb = None;
         o_closed = false;
       }
     in
@@ -78,10 +82,175 @@ let fetch_page k o lpage =
 
 let cacheable k o = k.config.use_cache && not o.o_nocache
 
+(* The bulk-transfer layer batches page traffic with a remote SS; local
+   access and a window of one page keep the original protocols exactly. *)
+let bulk_enabled k o = k.config.bulk_window > 1 && not (Site.equal o.o_ss k.site)
+
+(* ---- write-behind (bulk write path) ---- *)
+
+(* How long a small run may sit at the US before a timer pushes it out:
+   long enough to coalesce a burst of adjacent write() calls, short enough
+   that any settle point still observes the data at the SS. *)
+let wb_flush_delay = 0.05
+
+(* Flush the pending write-behind run to the SS as [Write_pages] batches of
+   at most a window of pages each. Every path that makes the modification
+   externally visible — commit, close, truncate, a read on this open, a
+   file-offset token moving away — must come through here first, so the
+   SS shadow session always holds the data before anyone can look. *)
+let flush_wb k o =
+  match o.o_wb with
+  | None -> ()
+  | Some run ->
+    o.o_wb <- None;
+    let data = Buffer.contents run.wb_buf in
+    let len = String.length data in
+    let window_bytes = k.config.bulk_window * Page.size in
+    let rec loop pos =
+      if pos < len then begin
+        let abs = run.wb_off + pos in
+        let first = abs / Page.size in
+        let poff = abs mod Page.size in
+        let n = min (window_bytes - poff) (len - pos) in
+        let chunk = String.sub data pos n in
+        expect_ok
+          (rpc k o.o_ss (Proto.Write_pages { gf = o.o_gf; first; off = poff; data = chunk }));
+        Sim.Stats.incr (stats k) "us.bulk.write";
+        Sim.Stats.add (stats k) "us.bulk.write.pages" ((poff + n + Page.size - 1) / Page.size);
+        loop (pos + n)
+      end
+    in
+    loop 0
+
+let flush_writes = flush_wb
+
+let start_wb_run k o ~off data =
+  let buf = Buffer.create (max 64 (String.length data)) in
+  Buffer.add_string buf data;
+  o.o_wb <- Some { wb_off = off; wb_buf = buf };
+  Engine.schedule k.engine ~delay:wb_flush_delay (fun () ->
+      if k.alive && not o.o_closed then
+        match flush_wb k o with () -> () | exception Error _ -> ())
+
+(* ---- windowed streaming reads (bulk read path) ---- *)
+
+let npages_of o = (o.o_info.Proto.i_size + Page.size - 1) / Page.size
+
+let in_flight o p = List.exists (fun (f, c) -> p >= f && p < f + c) o.o_inflight
+
+(* Length of the run of wanted pages from [from]: stop at the first page
+   already cached or already requested, at [limit] pages, or at eof. *)
+let run_length k o ~from ~limit =
+  let npages = npages_of o in
+  let rec len i =
+    if i >= limit || from + i >= npages then i
+    else if Cache.mem k.us_cache (cache_key o (from + i)) || in_flight o (from + i) then i
+    else len (i + 1)
+  in
+  len 0
+
+(* One bulk read: [count] consecutive pages in a single round trip. A
+   single-page run uses plain [Read_page], so a window of one is
+   byte-identical to the unbatched protocol. *)
+let fetch_pages k o ~first ~count =
+  if count <= 1 then begin
+    let data, eof = fetch_page k o first in
+    ([ data ], eof)
+  end
+  else
+    match
+      rpc k o.o_ss (Proto.Read_pages { gf = o.o_gf; first; count; guess = o.o_guess })
+    with
+    | Proto.R_pages { pages; eof } ->
+      Sim.Stats.incr (stats k) "us.bulk.read";
+      Sim.Stats.add (stats k) "us.bulk.read.pages" (List.length pages);
+      (pages, eof)
+    | Proto.R_err e -> err e "read %a pages %d+%d failed" Gfile.pp o.o_gf first count
+    | _ -> err Proto.Eio "unexpected read response"
+
+(* Keep a full window requested ahead of a sequential reader. The frontier
+   is the first page no fetch has been issued for; a new batch goes out
+   only when the reader has nearly caught up with it, so steady-state
+   sequential reading issues one window-sized RPC per window of pages. *)
+let schedule_window k o ~lpage =
+  let npages = npages_of o in
+  let next = lpage + 1 in
+  if k.config.readahead && o.o_ra_frontier <= next && next < npages then begin
+    let first = max next o.o_ra_frontier in
+    let count = run_length k o ~from:first ~limit:(min o.o_window (npages - first)) in
+    if count > 0 then begin
+      o.o_inflight <- (first, count) :: o.o_inflight;
+      o.o_ra_frontier <- first + count;
+      Engine.schedule k.engine ~delay:0.01 (fun () ->
+          o.o_inflight <- List.filter (fun r -> r <> (first, count)) o.o_inflight;
+          if (not o.o_closed) && k.alive then begin
+            (* A demand fetch may have overtaken us: re-scan and fetch only
+               the still-missing tail of the scheduled range. *)
+            let rec first_missing p =
+              if p >= first + count then None
+              else if Cache.mem k.us_cache (cache_key o p) then first_missing (p + 1)
+              else Some p
+            in
+            match first_missing first with
+            | None -> ()
+            | Some p0 -> (
+              match fetch_pages k o ~first:p0 ~count:(first + count - p0) with
+              | pages, _ ->
+                Sim.Stats.incr (stats k) "us.readahead";
+                List.iteri
+                  (fun i d ->
+                    Cache.insert k.us_cache (cache_key o (p0 + i)) (Page.of_string d))
+                  pages
+              | exception Error _ -> ())
+          end)
+    end
+  end
+
+let read_page_bulk k o lpage ~sequential =
+  if sequential then o.o_window <- min k.config.bulk_window (o.o_window * 2)
+  else begin
+    o.o_window <- 1;
+    o.o_ra_frontier <- lpage + 1
+  end;
+  let size = o.o_info.Proto.i_size in
+  match Cache.find k.us_cache (cache_key o lpage) with
+  | Some page ->
+    Sim.Stats.incr (stats k) "cache.us.hit";
+    let remaining = size - (lpage * Page.size) in
+    let len = max 0 (min Page.size remaining) in
+    let eof = (lpage + 1) * Page.size >= size in
+    if sequential && not eof then schedule_window k o ~lpage;
+    (Page.sub page 0 len, eof)
+  | None ->
+    Sim.Stats.incr (stats k) "cache.us.miss";
+    let npages = npages_of o in
+    let count =
+      max 1 (run_length k o ~from:lpage ~limit:(min o.o_window (max 1 (npages - lpage))))
+    in
+    let pages, last_eof = fetch_pages k o ~first:lpage ~count in
+    List.iteri
+      (fun i d -> Cache.insert k.us_cache (cache_key o (lpage + i)) (Page.of_string d))
+      pages;
+    let returned = List.length pages in
+    if o.o_ra_frontier < lpage + returned then o.o_ra_frontier <- lpage + returned;
+    let data, eof =
+      match pages with
+      | [] -> ("", true)
+      | [ d ] -> (d, last_eof)
+      | d :: _ -> (d, false)
+    in
+    if sequential && not eof then schedule_window k o ~lpage;
+    (data, eof)
+
 (* Read one logical page through the kernel buffers, with sequential
-   readahead as in standard Unix (section 2.3.3). *)
+   readahead as in standard Unix (section 2.3.3). With the bulk layer on,
+   a remote cacheable open goes through the windowed streaming path
+   instead; a window of one keeps the one-page protocol exactly. *)
 let read_page k o lpage =
   if o.o_closed then err Proto.Einval "read on closed file";
+  (* Read-your-writes: anything buffered for write-behind must reach the
+     SS shadow session before a page can be read back. *)
+  if o.o_wb <> None then flush_wb k o;
   charge_cpu_page k;
   let sequential = lpage = o.o_last_lpage + 1 in
   o.o_last_lpage <- lpage;
@@ -113,6 +282,7 @@ let read_page k o lpage =
     | Proto.R_err e -> err e "local read failed"
     | _ -> err Proto.Eio "unexpected local read response"
   end
+  else if bulk_enabled k o && cacheable k o then read_page_bulk k o lpage ~sequential
   else if cacheable k o then begin
     match Cache.find k.us_cache (cache_key o lpage) with
     | Some page ->
@@ -176,11 +346,29 @@ let read_bytes k o ~off ~len =
   end
 
 (* Write [data] at byte offset [off] through the write protocol: each
-   affected page travels US -> SS once; whole-page changes need no read. *)
+   affected page travels US -> SS once; whole-page changes need no read.
+   With the bulk layer on, adjacent chunks coalesce into a write-behind
+   run at the US and travel later as one [Write_pages] batch. *)
 let write k o ~off data =
   if o.o_closed then err Proto.Einval "write on closed file";
   if o.o_mode <> Proto.Mode_modify then err Proto.Eaccess "file not open for modification";
   let len = String.length data in
+  let write_behind () =
+    (match o.o_wb with
+    | Some run when run.wb_off + Buffer.length run.wb_buf = off ->
+      Buffer.add_string run.wb_buf data
+    | Some _ ->
+      (* Non-adjacent write: push the old run out first, in order. *)
+      flush_wb k o;
+      start_wb_run k o ~off data
+    | None -> start_wb_run k o ~off data);
+    match o.o_wb with
+    | Some run
+      when (run.wb_off mod Page.size) + Buffer.length run.wb_buf
+           >= k.config.bulk_window * Page.size ->
+      flush_wb k o
+    | _ -> ()
+  in
   let send_chunk ~lpage ~poff chunk =
     let whole = poff = 0 && String.length chunk = Page.size in
     let req =
@@ -205,13 +393,15 @@ let write k o ~off data =
       loop (pos + n)
     end
   in
-  loop 0;
+  if len > 0 then if bulk_enabled k o then write_behind () else loop 0;
   o.o_dirty <- true;
   if off + len > o.o_info.Proto.i_size then
     o.o_info <- { o.o_info with Proto.i_size = off + len }
 
 let truncate k o size =
   if o.o_mode <> Proto.Mode_modify then err Proto.Eaccess "file not open for modification";
+  (* Buffered writes precede the truncate in program order. *)
+  if o.o_wb <> None then flush_wb k o;
   let resp =
     if Site.equal o.o_ss k.site then
       Ss.handle_truncate k o.o_gf ~size
@@ -228,6 +418,9 @@ let set_contents k o body =
 
 (* Commit or abort the modifications of this open (section 2.3.6). *)
 let commit_gen k o ~abort ~delete =
+  (* The write-behind run is part of what commits: flush it into the SS
+     shadow session first. Aborting just drops it. *)
+  if abort then o.o_wb <- None else if o.o_wb <> None then flush_wb k o;
   let resp =
     if Site.equal o.o_ss k.site then
       Ss.handle_commit k o.o_gf ~abort ~delete

@@ -15,8 +15,9 @@ val open_gf :
 
 val read_page : Ktypes.t -> Ktypes.ofile -> int -> string * bool
 (** [read_page k o lpage] returns the page data (possibly short at end of
-    file) and an eof flag. Sequential reads schedule a one-page
-    readahead. *)
+    file) and an eof flag. Sequential reads keep a fetch window scheduled
+    ahead of the reader (a growing multi-page window when
+    [config.bulk_window > 1]; the classic one-page readahead otherwise). *)
 
 val read_all : Ktypes.t -> Ktypes.ofile -> string
 (** Whole-body read following the SS's eof indications. *)
@@ -26,7 +27,16 @@ val read_bytes : Ktypes.t -> Ktypes.ofile -> off:int -> len:int -> string
 
 val write : Ktypes.t -> Ktypes.ofile -> off:int -> string -> unit
 (** Send the affected pages to the SS via the write protocol: whole-page
-    changes travel without a read; partial pages as patches. *)
+    changes travel without a read; partial pages as patches. With
+    [config.bulk_window > 1] and a remote SS, adjacent chunks coalesce
+    into a write-behind run sent as one [Write_pages] batch at the next
+    flush point (window full, non-adjacent write, read-back, truncate,
+    commit, close, token release, or a short timer). *)
+
+val flush_writes : Ktypes.t -> Ktypes.ofile -> unit
+(** Push any pending write-behind run to the SS now. Called wherever the
+    modification must become visible outside this open — notably before a
+    file-offset token leaves this site. No-op when nothing is buffered. *)
 
 val truncate : Ktypes.t -> Ktypes.ofile -> int -> unit
 

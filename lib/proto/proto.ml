@@ -141,8 +141,16 @@ type req =
   (* --- data transfer --- *)
   | Read_page of { gf : Catalog.Gfile.t; lpage : int; guess : int }
     (* US -> SS; [guess] is the hint for locating the incore inode *)
+  | Read_pages of { gf : Catalog.Gfile.t; first : int; count : int; guess : int }
+    (* US -> SS: up to [count] consecutive pages starting at [first] in one
+       round trip — the bulk-transfer read protocol. One header, one RTT. *)
   | Write_page of { gf : Catalog.Gfile.t; lpage : int; whole : bool; off : int; data : string }
     (* US -> SS: one logical page of modification (whole page or patch) *)
+  | Write_pages of { gf : Catalog.Gfile.t; first : int; off : int; data : string }
+    (* US -> SS: one contiguous run of modified bytes starting at byte
+       [off] within page [first], possibly spanning several pages — a
+       coalesced write-behind batch. Absolute positioning keeps the
+       request idempotent. *)
   | Truncate_req of { gf : Catalog.Gfile.t; size : int }
     (* US -> SS: shrink the open modification session's file *)
   | Commit_req of {
@@ -243,6 +251,10 @@ type resp =
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }
+  | R_pages of { pages : string list; eof : bool }
+    (* consecutive pages from a [Read_pages]; may be fewer than asked when
+       the file ends mid-window. [eof] marks that the last page returned
+       contains end of file (or that [first] was past it). *)
   | R_committed of { vv : Vvec.t }
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }
@@ -293,7 +305,9 @@ let req_bytes = function
   | Storage_req { vv; others; _ } ->
     header + gfile_bytes + vv_bytes vv + 5 + site_list_bytes others
   | Read_page _ -> header + gfile_bytes + 8
+  | Read_pages _ -> header + gfile_bytes + 12
   | Write_page { data; _ } -> header + gfile_bytes + 9 + String.length data
+  | Write_pages { data; _ } -> header + gfile_bytes + 12 + String.length data
   | Truncate_req _ -> header + gfile_bytes + 4
   | Commit_req { force_vv; _ } ->
     header + gfile_bytes + 5
@@ -347,6 +361,11 @@ let resp_bytes = function
   | R_storage { info; _ } ->
     header + 1 + (match info with Some i -> info_bytes i | None -> 0)
   | R_page { data; _ } -> header + 1 + String.length data
+  | R_pages { pages; _ } ->
+    (* One header for the whole batch; each page pays only a small length
+       frame plus its payload — the honest accounting that makes the bulk
+       win fewer headers and RTTs, not free bytes. *)
+    header + 1 + List.fold_left (fun a p -> a + 2 + String.length p) 0 pages
   | R_committed { vv } -> header + vv_bytes vv
   | R_created _ -> header + 4
   | R_stat { info; _ } ->
@@ -371,8 +390,8 @@ let resp_bytes = function
 let req_tag = function
   | Open_req _ -> "open"
   | Storage_req _ -> "storage"
-  | Read_page _ -> "read"
-  | Write_page _ -> "write"
+  | Read_page _ | Read_pages _ -> "read"
+  | Write_page _ | Write_pages _ -> "write"
   | Truncate_req _ -> "truncate"
   | Commit_req _ -> "commit"
   | Us_close _ -> "close.us"
@@ -410,9 +429,10 @@ let req_tag = function
    blindly retried; reconfiguration probes are single-shot because
    unreachability is the information being gathered (section 5.4). *)
 let req_idempotent = function
-  | Read_page _ | Stat_req _ | Where_stored _ | Lookup_req _ | Open_files_query _
-  | Pack_inventory _ | Token_state_req _ | Token_req _ | Page_invalidate _
-  | Reclaim_req _ | Commit_notify _ | Write_page _ | Truncate_req _
+  | Read_page _ | Read_pages _ | Stat_req _ | Where_stored _ | Lookup_req _
+  | Open_files_query _ | Pack_inventory _ | Token_state_req _ | Token_req _
+  | Page_invalidate _ | Reclaim_req _ | Commit_notify _ | Write_page _
+  | Write_pages _ | Truncate_req _
   | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _
   | Status_check _ ->
     true

@@ -124,6 +124,10 @@ type req =
            [others] lets the SS send its commit notifications directly. *)
   | Read_page of { gf : Catalog.Gfile.t; lpage : int; guess : int }
       (** US → SS: one page; [guess] locates the incore inode (§2.3.3). *)
+  | Read_pages of { gf : Catalog.Gfile.t; first : int; count : int; guess : int }
+      (** US → SS: up to [count] consecutive pages from [first] in one
+          round trip — the bulk-transfer read used by windowed streaming
+          reads and batched propagation pulls. *)
   | Write_page of {
       gf : Catalog.Gfile.t;
       lpage : int;
@@ -131,6 +135,11 @@ type req =
       off : int;
       data : string;
     }  (** US → SS: one logical page of modification (whole or patch). *)
+  | Write_pages of { gf : Catalog.Gfile.t; first : int; off : int; data : string }
+      (** US → SS: a contiguous run of modified bytes starting at byte
+          [off] within page [first], possibly spanning several pages — one
+          coalesced write-behind batch. Absolute positioning keeps the
+          request idempotent (safe to retry). *)
   | Truncate_req of { gf : Catalog.Gfile.t; size : int }
   | Commit_req of {
       gf : Catalog.Gfile.t;
@@ -242,6 +251,10 @@ type resp =
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }
+  | R_pages of { pages : string list; eof : bool }
+      (** consecutive pages answering a [Read_pages]; fewer than asked when
+          the file ends mid-window, [eof] when the batch reaches end of
+          file (or started past it) *)
   | R_committed of { vv : Vv.Version_vector.t }
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }

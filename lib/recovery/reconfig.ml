@@ -27,7 +27,8 @@ let install k =
       | Proto.Status_check _ ->
         Some (Proto.R_status { stage = k.recon_stage; site = k.site })
       | Proto.Open_req _ | Proto.Storage_req _ | Proto.Read_page _
-      | Proto.Write_page _ | Proto.Truncate_req _ | Proto.Commit_req _
+      | Proto.Read_pages _ | Proto.Write_page _ | Proto.Write_pages _
+      | Proto.Truncate_req _ | Proto.Commit_req _
       | Proto.Us_close _ | Proto.Ss_close _ | Proto.Commit_notify _
       | Proto.Reclaim_req _ | Proto.Page_invalidate _ | Proto.Create_req _
       | Proto.Link_count _ | Proto.Set_attr _ | Proto.Stat_req _

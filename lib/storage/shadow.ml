@@ -8,6 +8,10 @@ type t = {
   had_indirect : int; (* old indirect page address, 0 if none *)
   shadows : (int, slot) Hashtbl.t; (* lpage -> slot *)
   mutable truncated_old : int list; (* old addrs to free on commit *)
+  dropped : (int, unit) Hashtbl.t;
+  (* lpages released by truncation: they changed too (to holes/zeroes), so
+     commit notifications must list them or a shrunk-then-regrown file
+     would keep stale tail pages at sites pulling just the changes *)
   mutable finished : bool;
 }
 
@@ -21,6 +25,7 @@ let begin_modify pack ino =
     had_indirect = base.Inode.indirect;
     shadows = Hashtbl.create 16;
     truncated_old = [];
+    dropped = Hashtbl.create 8;
     finished = false;
   }
 
@@ -85,7 +90,8 @@ let truncate_page t lpage =
     Hashtbl.remove t.shadows lpage
   | None ->
     if t.table.(lpage) <> 0 then t.truncated_old <- t.table.(lpage) :: t.truncated_old);
-  t.table.(lpage) <- 0
+  t.table.(lpage) <- 0;
+  Hashtbl.replace t.dropped lpage ()
 
 let set_contents t body =
   check_active t;
@@ -127,14 +133,28 @@ let truncate t size =
     t.incore.Inode.size <- size
   end
 
+(* Set the session's size outright: shrinking truncates (releasing tail
+   pages), growing just extends — the new pages read as zeroes until
+   written, Unix sparse-file semantics. *)
+let set_size t size =
+  check_active t;
+  if size < 0 then invalid_arg "Shadow.set_size: negative size";
+  if size < t.incore.Inode.size then truncate t size
+  else if size > t.incore.Inode.size then begin
+    if (size + Page.size - 1) / Page.size > Inode.max_pages then
+      invalid_arg "Shadow.set_size: file too large";
+    t.incore.Inode.size <- size
+  end
+
 let mark_deleted t ~time =
   check_active t;
   t.incore.Inode.deleted <- true;
   t.incore.Inode.delete_time <- time
 
 let modified_lpages t =
-  Hashtbl.fold (fun lpage _ acc -> lpage :: acc) t.shadows []
-  |> List.sort Int.compare
+  let acc = Hashtbl.fold (fun lpage _ acc -> lpage :: acc) t.shadows [] in
+  let acc = Hashtbl.fold (fun lpage () acc -> lpage :: acc) t.dropped acc in
+  List.sort_uniq Int.compare acc
 
 let needs_indirect t =
   let rec check i = i < Inode.max_pages && (t.table.(i) <> 0 || check (i + 1)) in

@@ -41,13 +41,20 @@ val truncate : t -> int -> unit
     pages on commit, uncommitted shadow pages immediately). Growing is a
     no-op. *)
 
+val set_size : t -> int -> unit
+(** Set the size outright: shrinking truncates, growing extends (the new
+    pages read as zeroes until written — sparse-file semantics). Used by
+    propagation to make a pulled copy's size match the source exactly. *)
+
 val mark_deleted : t -> time:float -> unit
 (** Record a delete in the incore inode (delete is a commit of a deleted
     inode, §2.3.7). *)
 
 val modified_lpages : t -> int list
 (** Logical pages changed so far, ascending — sent with commit
-    notifications so other storage sites can propagate just the changes. *)
+    notifications so other storage sites can propagate just the changes.
+    Includes pages released by truncation: they changed too (to zeroes),
+    and omitting them would leave stale tails at incremental pullers. *)
 
 val commit : t -> vv:Vv.Version_vector.t -> mtime:float -> unit
 (** Atomically publish: write the (new) indirect page, stamp the incore

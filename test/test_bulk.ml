@@ -1,0 +1,299 @@
+(* Tests of the bulk page-transfer layer: windowed streaming reads,
+   write-behind batching, and batched propagation pulls. The window=1
+   configuration must reproduce the one-page-per-RTT protocol exactly;
+   that ablation is checked here too. *)
+
+module World = Locus.World
+module Kernel = Locus_core.Kernel
+module Us = Locus_core.Us
+module Pathname = Locus_core.Pathname
+module Process = Locus_core.Process
+module K = Locus_core.Ktypes
+module Stats = Sim.Stats
+module Engine = Sim.Engine
+module Page = Storage.Page
+
+let check = Alcotest.check
+
+(* Packs only at sites 0 and 1, so sites 2..4 are pure using sites and
+   every transfer in these tests really crosses the network. *)
+let world ?(window = 8) () =
+  let base = World.default_config ~n_sites:5 () in
+  let config =
+    { base with
+      World.filegroups = [ { World.fg = 0; pack_sites = [ 0; 1 ]; mount_path = None } ];
+      World.kernel_config = { base.World.kernel_config with K.bulk_window = window }
+    }
+  in
+  World.create ~config ()
+
+let gf_of k path =
+  Pathname.resolve_from k ~cwd:(Catalog.Mount.root k.K.mount) ~context:[] path
+
+(* Per-page distinctive bytes so a misplaced or misordered page shows up
+   as a content mismatch, not just a length error. *)
+let body_of_pages ?(tail = 0) pages =
+  String.init ((pages * Page.size) + tail) (fun i ->
+      Char.chr (Char.code 'a' + (i / Page.size mod 26)))
+
+let mk_file w ~path ~body =
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 1;
+  ignore (Kernel.creat k0 p0 path);
+  Kernel.write_file k0 p0 path body;
+  ignore (World.settle w)
+
+(* Sequential page-by-page read with the engine drained between pages,
+   so scheduled window fetches land like overlapped streaming I/O. *)
+let read_streamed w k o ~pages =
+  let buf = Buffer.create (pages * Page.size) in
+  for lpage = 0 to pages - 1 do
+    let data, _ = Us.read_page k o lpage in
+    Buffer.add_string buf data;
+    ignore (Engine.run_until_idle (World.engine w))
+  done;
+  Buffer.contents buf
+
+(* ---- batch boundaries ---- *)
+
+(* A file that ends mid-window with a short last page: the batch must be
+   trimmed at eof and the short page returned at its true length. *)
+let test_batch_ends_mid_window () =
+  let w = world ~window:8 () in
+  let body = body_of_pages 5 ~tail:100 in
+  mk_file w ~path:"/short" ~body;
+  let k2 = World.kernel w 2 in
+  let o = Us.open_gf k2 (gf_of k2 "/short") Proto.Mode_read in
+  let got = read_streamed w k2 o ~pages:6 in
+  check Alcotest.string "6-page body with 100-byte tail intact" body got;
+  (* The last page reports eof and its short length. *)
+  let data, eof = Us.read_page k2 o 5 in
+  check Alcotest.int "short last page length" 100 (String.length data);
+  check Alcotest.bool "eof on last page" true eof;
+  (* Only the pages that exist were ever transferred in bulk. *)
+  let bulk_pages = Stats.get (World.stats w) "us.bulk.read.pages" in
+  check Alcotest.bool "no pages fetched past eof" true (bulk_pages <= 6);
+  check Alcotest.bool "batched fetches used" true
+    (Stats.get (World.stats w) "us.bulk.read" >= 1);
+  Us.close k2 o
+
+(* ---- window growth and reset on seek ---- *)
+
+let test_window_resets_on_seek () =
+  let w = world ~window:8 () in
+  mk_file w ~path:"/big" ~body:(body_of_pages 32);
+  let k2 = World.kernel w 2 in
+  let o = Us.open_gf k2 (gf_of k2 "/big") Proto.Mode_read in
+  for lpage = 0 to 5 do
+    ignore (Us.read_page k2 o lpage);
+    ignore (Engine.run_until_idle (World.engine w))
+  done;
+  check Alcotest.bool "sequential reads grew the window" true (o.K.o_window > 1);
+  (* A seek: the streaming window collapses and the frontier follows. *)
+  let data, _ = Us.read_page k2 o 20 in
+  check Alcotest.int "window back to one after seek" 1 o.K.o_window;
+  check Alcotest.bool "frontier moved to the seek point" true
+    (o.K.o_ra_frontier >= 21);
+  check Alcotest.string "seek target page correct"
+    (String.make Page.size (Char.chr (Char.code 'a' + 20))) data;
+  (* Resuming sequentially from the seek point grows the window again. *)
+  ignore (Us.read_page k2 o 21);
+  ignore (Us.read_page k2 o 22);
+  check Alcotest.bool "window regrows after resumed sequential run" true
+    (o.K.o_window > 1);
+  Us.close k2 o
+
+(* ---- ablation: window=1 is the old one-page protocol ---- *)
+
+let test_window_one_is_unbatched () =
+  let pages = 8 in
+  let body = body_of_pages pages in
+  let run window =
+    let w = world ~window () in
+    mk_file w ~path:"/abl" ~body;
+    let k2 = World.kernel w 2 in
+    let o = Us.open_gf k2 (gf_of k2 "/abl") Proto.Mode_read in
+    let snap = Stats.snapshot (World.stats w) in
+    let got = read_streamed w k2 o ~pages in
+    let msgs = Stats.delta_of (World.stats w) snap "net.msg.read" in
+    Us.close k2 o;
+    (got, msgs, Stats.get (World.stats w) "us.bulk.read")
+  in
+  let got1, msgs1, bulk1 = run 1 in
+  let got8, msgs8, bulk8 = run 8 in
+  check Alcotest.string "window 1 reads the right bytes" body got1;
+  check Alcotest.string "window 8 reads identical bytes" body got8;
+  (* With window=1 the bulk RPC is never used: every fetch is a plain
+     Read_page, exactly the pre-bulk protocol (2 messages per page,
+     demand or readahead alike). *)
+  check Alcotest.int "no bulk RPCs at window 1" 0 bulk1;
+  check Alcotest.int "one-page protocol costs 2 msgs/page" (2 * pages) msgs1;
+  check Alcotest.bool "window 8 uses bulk RPCs" true (bulk8 >= 1);
+  check Alcotest.bool "window 8 needs fewer messages" true (msgs8 < msgs1)
+
+(* ---- streaming read message savings ---- *)
+
+let test_streaming_read_savings () =
+  let pages = 32 in
+  let body = body_of_pages pages in
+  let run window =
+    let w = world ~window () in
+    mk_file w ~path:"/seq" ~body;
+    let k2 = World.kernel w 2 in
+    let o = Us.open_gf k2 (gf_of k2 "/seq") Proto.Mode_read in
+    let snap = Stats.snapshot (World.stats w) in
+    let got = read_streamed w k2 o ~pages in
+    let msgs = Stats.delta_of (World.stats w) snap "net.msg.read" in
+    Us.close k2 o;
+    check Alcotest.string
+      (Printf.sprintf "window %d contents" window)
+      body got;
+    msgs
+  in
+  let msgs1 = run 1 and msgs8 = run 8 in
+  check Alcotest.bool
+    (Printf.sprintf "sequential 32-page read: %d msgs at w1 vs %d at w8"
+       msgs1 msgs8)
+    true
+    (msgs1 >= 4 * msgs8)
+
+(* ---- write-behind flush points ---- *)
+
+(* Small adjacent writes coalesce in the write-behind buffer (no traffic),
+   and commit flushes them before the commit itself goes out. *)
+let test_write_behind_flushes_before_commit () =
+  let w = world ~window:8 () in
+  mk_file w ~path:"/wb" ~body:"";
+  let k2 = World.kernel w 2 in
+  let o = Us.open_gf k2 (gf_of k2 "/wb") Proto.Mode_modify in
+  let snap = Stats.snapshot (World.stats w) in
+  Us.write k2 o ~off:0 "one ";
+  Us.write k2 o ~off:4 "two ";
+  Us.write k2 o ~off:8 "three";
+  check Alcotest.int "adjacent writes buffered, no traffic yet" 0
+    (Stats.delta_of (World.stats w) snap "net.msg.write");
+  Us.commit k2 o;
+  check Alcotest.bool "commit pushed the buffered run first" true
+    (Stats.delta_of (World.stats w) snap "net.msg.write" >= 2);
+  check Alcotest.bool "run went out as one bulk write" true
+    (Stats.get (World.stats w) "us.bulk.write" >= 1);
+  Us.close k2 o;
+  ignore (World.settle w);
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  check Alcotest.string "committed bytes visible at the SS" "one two three"
+    (Kernel.read_file k0 p0 "/wb")
+
+(* Reading back your own uncommitted write forces the buffer out first:
+   read-your-writes holds across the write-behind layer. *)
+let test_write_behind_flushes_on_read_back () =
+  let w = world ~window:8 () in
+  mk_file w ~path:"/ryw" ~body:(String.make Page.size 'x');
+  let k2 = World.kernel w 2 in
+  let o = Us.open_gf k2 (gf_of k2 "/ryw") Proto.Mode_modify in
+  Us.write k2 o ~off:0 "HELLO";
+  let data, _ = Us.read_page k2 o 0 in
+  check Alcotest.string "read sees the buffered write" "HELLO"
+    (String.sub data 0 5);
+  Us.abort k2 o;
+  Us.close k2 o
+
+(* A shared file descriptor hands its offset token to another site: the
+   holder must flush buffered writes before yielding, or the other site's
+   operations would run against stale bytes. *)
+let test_write_behind_flushes_on_token_release () =
+  let w = world ~window:8 () in
+  mk_file w ~path:"/log" ~body:"";
+  let k2 = World.kernel w 2 and p2 = World.proc w 2 in
+  let fd = Kernel.open_path k2 p2 "/log" Proto.Mode_modify in
+  Kernel.write_fd k2 p2 fd "one ";
+  Kernel.set_advice p2 (Some 3);
+  let pid, _ = Process.fork k2 p2 in
+  let k3 = World.kernel w 3 in
+  let child = Process.get_proc k3 pid in
+  (* The child's write pulls the offset token from site 2, which must
+     flush "one " on the way out so the child appends after it. *)
+  Kernel.write_fd k3 child fd "two ";
+  Kernel.write_fd k2 p2 fd "three";
+  Kernel.commit_fd k2 p2 fd;
+  Kernel.close_fd k2 p2 fd;
+  Kernel.close_fd k3 child fd;
+  ignore (World.settle w);
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  check Alcotest.string "writes land in token order across sites"
+    "one two three"
+    (Kernel.read_file k0 p0 "/log")
+
+(* ---- batched propagation pulls ---- *)
+
+(* A ten-page patch to a replicated file is pulled in window-sized runs:
+   ceil(10/8) = 2 round trips, not 10. *)
+let test_propagation_pulls_in_batches () =
+  let w = world ~window:8 () in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/repl");
+  Kernel.write_file k0 p0 "/repl" (body_of_pages 12);
+  ignore (World.settle w);
+  (* Patch ten consecutive pages in place. *)
+  let patch = String.make (10 * Page.size) 'Z' in
+  let o = Us.open_gf k0 (gf_of k0 "/repl") Proto.Mode_modify in
+  Us.write k0 o ~off:0 patch;
+  Us.commit k0 o;
+  Us.close k0 o;
+  let snap = Stats.snapshot (World.stats w) in
+  ignore (World.settle w);
+  let msgs = Stats.delta_of (World.stats w) snap "net.msg.read" in
+  check Alcotest.int "ten pages pulled in two batched round trips" 4 msgs;
+  check Alcotest.bool "propagation used bulk pulls" true
+    (Stats.get (World.stats w) "prop.bulk" >= 1);
+  let k1 = World.kernel w 1 and p1 = World.proc w 1 in
+  let got = Kernel.read_file k1 p1 "/repl" in
+  check Alcotest.string "replica matches after batched pull"
+    (patch ^ String.sub (body_of_pages 12) (10 * Page.size) (2 * Page.size))
+    got
+
+(* Message loss during a batched pull: Read_pages is idempotent, so the
+   transport retries it and the replica still converges byte-for-byte. *)
+let test_propagation_survives_message_loss () =
+  let w = world ~window:8 () in
+  let body = body_of_pages 16 in
+  let k0 = World.kernel w 0 and p0 = World.proc w 0 in
+  Kernel.set_ncopies p0 2;
+  ignore (Kernel.creat k0 p0 "/lossy");
+  Kernel.write_file k0 p0 "/lossy" "seed";
+  ignore (World.settle w);
+  Kernel.write_file k0 p0 "/lossy" body;
+  (* Kill the next message from the puller to the SS — the first RPC of
+     the background pull. Stat_req and Read_pages are idempotent, so the
+     transport retries and the pull completes anyway. *)
+  Net.Netsim.fail_next_message (World.net w) ~src:1 ~dst:0;
+  ignore (World.settle w);
+  let k1 = World.kernel w 1 and p1 = World.proc w 1 in
+  check Alcotest.string "replica converged despite losses" body
+    (Kernel.read_file k1 p1 "/lossy");
+  check Alcotest.bool "retries happened" true
+    (Stats.get (World.stats w) "rpc.retry" >= 1)
+
+let () =
+  Alcotest.run "bulk"
+    [
+      ( "bulk",
+        [
+          Alcotest.test_case "batch ends mid-window" `Quick test_batch_ends_mid_window;
+          Alcotest.test_case "window resets on seek" `Quick test_window_resets_on_seek;
+          Alcotest.test_case "window=1 is the unbatched protocol" `Quick
+            test_window_one_is_unbatched;
+          Alcotest.test_case "streaming read saves messages" `Quick
+            test_streaming_read_savings;
+          Alcotest.test_case "write-behind flushes before commit" `Quick
+            test_write_behind_flushes_before_commit;
+          Alcotest.test_case "write-behind flushes on read-back" `Quick
+            test_write_behind_flushes_on_read_back;
+          Alcotest.test_case "write-behind flushes on token release" `Quick
+            test_write_behind_flushes_on_token_release;
+          Alcotest.test_case "propagation pulls in batches" `Quick
+            test_propagation_pulls_in_batches;
+          Alcotest.test_case "propagation survives message loss" `Quick
+            test_propagation_survives_message_loss;
+        ] );
+    ]

@@ -26,6 +26,20 @@ let asym_world () =
 
 let full_world () = World.create ~config:(World.default_config ~n_sites:5 ()) ()
 
+(* Like [asym_world], with the bulk-transfer layer disabled: for the tests
+   that assert the exact shape of the one-page-per-RTT read protocol
+   (per-page readahead counts, per-page guesses, injected single-page
+   responses). Bulk behavior has its own suite in test_bulk.ml. *)
+let asym_world_nobulk () =
+  let base = World.default_config ~n_sites:5 () in
+  let config =
+    { base with
+      World.filegroups = [ { World.fg = 0; pack_sites = [ 0; 1 ]; mount_path = None } ];
+      World.kernel_config = { base.World.kernel_config with K.bulk_window = 1 }
+    }
+  in
+  World.create ~config ()
+
 let stats w = World.stats w
 
 let msg_delta w snap = Stats.delta_of (stats w) snap "net.msg"
@@ -156,7 +170,7 @@ let test_cache_keyed_by_version () =
    old code only misses scheduled readahead, so a sequential scan settled
    into miss/hit/miss/hit — every other page paid the network round trip. *)
 let test_readahead_on_cache_hit () =
-  let w = asym_world () in
+  let w = asym_world_nobulk () in
   let k0 = World.kernel w 0 and p0 = World.proc w 0 in
   ignore (Kernel.creat k0 p0 "/seq6");
   Kernel.write_file k0 p0 "/seq6" (String.make (6 * Storage.Page.size) 's');
@@ -233,7 +247,7 @@ let test_cross_open_cache_retention () =
    the read_bytes loop, silently returning short data. It must read as
    zeroes to the page boundary and continue into the next page. *)
 let test_read_bytes_zero_fills_short_page () =
-  let w = asym_world () in
+  let w = asym_world_nobulk () in
   let k0 = World.kernel w 0 and p0 = World.proc w 0 in
   let ps = Storage.Page.size in
   ignore (Kernel.creat k0 p0 "/sparse");
@@ -525,7 +539,7 @@ let test_stale_css_detected () =
 (* ---- the incore-inode guess (2.3.3) ---- *)
 
 let test_read_guess_hits () =
-  let w = asym_world () in
+  let w = asym_world_nobulk () in
   let k0 = World.kernel w 0 and p0 = World.proc w 0 in
   ignore (Kernel.creat k0 p0 "/guessed");
   Kernel.write_file k0 p0 "/guessed" (String.make (4 * Storage.Page.size) 'g');

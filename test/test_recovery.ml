@@ -223,6 +223,9 @@ let test_cleanup_ss_aborts_orphan_session () =
   in
   let o = Us.open_gf k1 gf Proto.Mode_modify in
   Us.write k1 o ~off:0 "doomed";
+  (* Push the write-behind run out so the SS has an open shadow session to
+     orphan when the site dies. *)
+  Us.flush_writes k1 o;
   World.crash_site w 1;
   ignore (World.detect_failures w ~initiator:0);
   check Alcotest.bool "ss aborted the session" true
