@@ -115,6 +115,25 @@ let bulk_table ?(title = "bulk-transfer effectiveness") stats =
   if rows <> [] then
     table ~title ~header:[ "path"; "batched RPCs"; "pages"; "pages/RPC" ] rows
 
+(* Open-lease counters ("open.lease.*"): how often a retained grant
+   short-circuited the open protocol, and why grants died. *)
+let lease_table ?(title = "open-lease effectiveness") stats =
+  let get what = Sim.Stats.get stats ("open.lease." ^ what) in
+  let hits = get "hit" and misses = get "miss" in
+  let total = hits + misses in
+  if total > 0 || get "break" > 0 then
+    table ~title
+      ~header:
+        [ "hits"; "misses"; "deferred closes"; "breaks"; "evictions"; "hit ratio" ]
+      [
+        [ i hits; i misses; i (get "defer"); i (get "break"); i (get "evict");
+          (if total = 0 then "-"
+           else
+             Printf.sprintf "%.1f%%"
+               (100.0 *. float_of_int hits /. float_of_int total));
+        ];
+      ]
+
 (* ---- machine-readable output (BENCH_<experiment>.json) ---- *)
 
 (* Experiments record named numeric metrics as they run; the harness entry

@@ -29,6 +29,7 @@ let new_file_state () =
     writer_ss = None;
     css_deleted = false;
     css_conflict = false;
+    leases = [];
   }
 
 let find_file k fg ino = Hashtbl.find_opt (fg_state k fg).css_files ino
@@ -96,6 +97,30 @@ let local_info k gf =
   | None -> None
   | Some pack ->
     Pack.find_inode pack gf.Gfile.ino |> Option.map Proto.info_of_inode
+
+(* Break every outstanding read lease on a file by callback: a writer
+   opened, the version advanced, a conflict or delete was recorded. Each
+   holder drops its retained grant and sends its deferred close, which is
+   what eventually uncounts it as a reader; losses are silent — a stale
+   entry is caught by the version-keyed page cache and self-cleans at the
+   next break or eviction. *)
+let break_leases k gf (f : css_file) =
+  match f.leases with
+  | [] -> ()
+  | holders ->
+    f.leases <- [];
+    record k ~tag:"css.lease.break"
+      (Format.asprintf "%a -> [%s]" Gfile.pp gf
+         (String.concat "," (List.map Site.to_string holders)));
+    List.iter
+      (fun h ->
+        if Site.equal h k.site then
+          (* Collocated holder: direct procedure call (section 2.3.2). *)
+          ignore (k.dispatch k.site (Proto.Lease_break { gf }))
+        else notify k h (Proto.Lease_break { gf }))
+      holders
+
+let lease_config_on k = k.config.open_lease && k.config.open_lease_entries > 0
 
 let count_reader f us =
   let n = try List.assoc us f.readers with Not_found -> 0 in
@@ -188,16 +213,33 @@ let handle_open k ~src gf mode ~shared us_vv =
           match choice with
           | None -> Proto.R_err Proto.Enet
           | Some (ss, info, slot) ->
+            let lease =
+              (* Grant a revocable read lease when nothing threatens the
+                 version the grant names: no writer, no conflict, not a
+                 shared-descriptor open (the offset token serializes
+                 those; their opens must revalidate). *)
+              match mode with
+              | Proto.Mode_read | Proto.Mode_internal ->
+                lease_config_on k && (not shared) && f.writer = None
+                && not f.css_conflict
+              | Proto.Mode_modify -> false
+            in
             (match mode with
             | Proto.Mode_modify ->
               if f.writer = None then f.writer <- Some src;
-              f.writer_ss <- Some ss
-            | Proto.Mode_read | Proto.Mode_internal -> count_reader f src);
+              f.writer_ss <- Some ss;
+              (* A writer exists: no outstanding lease may keep serving
+                 zero-message re-opens of the now-mutable file. *)
+              break_leases k gf f
+            | Proto.Mode_read | Proto.Mode_internal ->
+              count_reader f src;
+              if lease && not (List.mem src f.leases) then
+                f.leases <- src :: f.leases);
             record k ~tag:"css.open"
               (Format.asprintf "%a %a by %a -> ss %a" Gfile.pp gf Proto.pp_mode
                  mode Site.pp src Site.pp ss);
             Proto.R_open
-              { ss; info; others = others ss; nocache = f.writer <> None; slot }
+              { ss; info; others = others ss; nocache = f.writer <> None; slot; lease }
         end
     end
   end
@@ -252,9 +294,14 @@ let handle_commit_notify ?(replicas = []) k gf ~origin ~vv ~deleted =
         if not (Site.Map.mem r f.site_vv) then
           f.site_vv <- Site.Map.add r Vvec.zero f.site_vv)
       replicas;
+    let advanced = not (Vvec.dominates_or_equal f.latest_vv vv) in
     if Vvec.conflict vv f.latest_vv then f.css_conflict <- true
-    else if not (Vvec.dominates_or_equal f.latest_vv vv) then f.latest_vv <- vv;
+    else if advanced then f.latest_vv <- vv;
     if deleted then f.css_deleted <- true;
+    (* A new latest version, a conflict, or a delete: every lease granted
+       on the superseded version is dead — break by callback before any
+       holder can serve another zero-message re-open of stale state. *)
+    if advanced || f.css_conflict || deleted then break_leases k gf f;
     maybe_reclaim k gf f
   end
 
@@ -271,7 +318,7 @@ let handle_open_files_query k fg =
   let files = ref [] in
   Hashtbl.iter
     (fun (gf, _serial) (o : ofile) ->
-      if gf.Gfile.fg = fg && not o.o_closed then
+      if Int.equal gf.Gfile.fg fg && not o.o_closed then
         files := (gf.Gfile.ino, o.o_mode, k.site) :: !files)
     k.open_files;
   Proto.R_open_files { files = !files }
@@ -287,7 +334,11 @@ let drop_site k dead =
             f.writer <- None;
             f.writer_ss <- None
           end;
-          f.readers <- List.remove_assoc dead f.readers)
+          f.readers <- List.remove_assoc dead f.readers;
+          (* A lease must never survive a partition event (the holders
+             scrub their own side; no callback can reach a departed
+             site). *)
+          f.leases <- List.filter (fun s -> not (Site.equal s dead)) f.leases)
         st.css_files)
     k.css_state
 
@@ -304,7 +355,8 @@ let drop_fg k fg = Hashtbl.remove k.css_state fg
 
 let mark_conflict k gf =
   let f = get_file k gf.Gfile.fg gf.Gfile.ino in
-  f.css_conflict <- true
+  f.css_conflict <- true;
+  break_leases k gf f
 
 let clear_conflict k gf =
   match find_file k gf.Gfile.fg gf.Gfile.ino with

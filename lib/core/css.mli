@@ -44,6 +44,10 @@ val handle_ss_close :
   Ktypes.t -> Catalog.Gfile.t -> us:Net.Site.t -> mode:Proto.open_mode -> Proto.resp
 (** SS→CSS leg of the close protocol. *)
 
+val break_leases : Ktypes.t -> Catalog.Gfile.t -> Ktypes.css_file -> unit
+(** Revoke every outstanding read lease on a file by [Lease_break]
+    callback (writer open, version advance, conflict, delete). *)
+
 val handle_commit_notify :
   ?replicas:Net.Site.t list ->
   Ktypes.t ->

@@ -42,6 +42,9 @@ let handle k ~src (req : Proto.req) : Proto.resp =
          deleted no link may keep resolving to it. *)
       Namecache.note_dir_vv k.name_cache ~dir:gf vv;
       if deleted then Namecache.invalidate_child k.name_cache gf;
+      (* A locally-observed commit kills any lease granted on an older
+         version without waiting for the CSS break callback. *)
+      Openlease.note_commit k.open_leases gf vv;
       if (fg_info k gf.Gfile.fg).css_site = k.site then
         Css.handle_commit_notify ~replicas k gf ~origin ~vv ~deleted;
       if fresh && not (Net.Site.equal origin k.site) then
@@ -50,6 +53,11 @@ let handle k ~src (req : Proto.req) : Proto.resp =
     | Proto.Reclaim_req { gf } -> Ss.handle_reclaim k gf
     | Proto.Page_invalidate { gf; lpage } ->
       Cache.invalidate_if k.us_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+      Proto.R_ok
+    | Proto.Lease_break { gf } ->
+      (* CSS callback: drop the retained grant; the deferred close (if one
+         is owed and no open still rides the lease) goes out now. *)
+      Openlease.kill k.open_leases gf;
       Proto.R_ok
     (* create / delete / metadata *)
     | Proto.Create_req { fg; ftype; owner; perms; replicate_at } ->

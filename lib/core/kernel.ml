@@ -39,6 +39,10 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
       us_cache = mk_cache "cache.us.evict" ~capacity:config.us_cache_pages;
       ss_cache = mk_cache "cache.ss.evict" ~capacity:config.ss_cache_pages;
       name_cache = Namecache.create ~stats ~capacity:config.name_cache_entries ();
+      open_leases =
+        Openlease.create ~stats
+          ~capacity:(if config.open_lease then config.open_lease_entries else 0)
+          ();
       prop_pending = Gfile.Set.empty;
       prop_queue = Queue.create ();
       shared_fds = Hashtbl.create 32;
@@ -54,6 +58,7 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
   in
   k.dispatch <- (fun src req -> Dispatch.handle k ~src req);
   Net.Netsim.set_handler net site (fun ~src req -> Dispatch.handle k ~src req);
+  Openlease.set_on_dead k.open_leases (fun e -> Us.lease_send_close k e);
   k
 
 let site k = k.site
@@ -346,6 +351,9 @@ let mailbox_read k (proc : proc) path =
 
 (* Local resources in use remotely / remote resources in use locally. *)
 let handle_site_failure k dead =
+  (* Retained open grants served by the failed SS are dead: their deferred
+     closes go out now (and are lost with the site — cleanup covers it). *)
+  Openlease.kill_if k.open_leases (fun e -> Site.equal e.Openlease.le_ss dead);
   (* US side: open files served by the failed SS. *)
   Hashtbl.iter
     (fun _ (o : ofile) ->
@@ -362,14 +370,20 @@ let handle_site_failure k dead =
           (* Internal close, attempt to reopen at another site. *)
           match Us.open_gf k o.o_gf o.o_mode with
           | o' ->
+            (* The open now rides the new grant (if any); stop riding the
+               dead one. *)
+            (match o.o_lease with Some e -> Us.lease_drop_rider k e | None -> ());
             o.o_ss <- o'.o_ss;
             o.o_info <- o'.o_info;
+            o.o_lease <- o'.o_lease;
             Hashtbl.remove k.open_files (o'.o_gf, o'.o_serial);
             Sim.Stats.incr (stats k) "cleanup.us.reopened";
             record k ~tag:"cleanup"
               (Format.asprintf "reopened %a at %a" Gfile.pp o.o_gf Site.pp o'.o_ss)
           | exception Error _ ->
             o.o_closed <- true;
+            (match o.o_lease with Some e -> Us.lease_drop_rider k e | None -> ());
+            o.o_lease <- None;
             Sim.Stats.incr (stats k) "cleanup.us.read_lost")
       end)
     k.open_files;
@@ -428,6 +442,7 @@ let crash k =
   Storage.Cache.clear k.us_cache;
   Storage.Cache.clear k.ss_cache;
   Namecache.clear k.name_cache;
+  Openlease.clear k.open_leases;
   Queue.clear k.prop_queue;
   k.prop_pending <- Gfile.Set.empty;
   k.site_table <- [ k.site ];

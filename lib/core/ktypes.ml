@@ -34,6 +34,12 @@ type config = {
   (* maximum pages per bulk transfer: streaming-read fetch window,
      write-behind batch size, and propagation pull batch. 1 disables the
      bulk layer entirely and reproduces the one-page-per-RTT protocols. *)
+  open_lease : bool;
+  (* CSS grants revocable read leases on open: the US retains the whole
+     open grant across close and re-opens with zero messages until a
+     callback break. false keeps today's protocol byte-identical. *)
+  open_lease_entries : int;
+  (* retained open grants per site; 0 disables the lease layer too *)
 }
 
 let default_config =
@@ -47,6 +53,8 @@ let default_config =
     name_cache_entries = 512;
     remote_lookup = true;
     bulk_window = 8;
+    open_lease = true;
+    open_lease_entries = 64;
   }
 
 (* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
@@ -59,6 +67,10 @@ type css_file = {
   mutable writer_ss : Site.t option;     (* the single SS while a writer exists *)
   mutable css_deleted : bool;
   mutable css_conflict : bool; (* unresolved version conflict: normal opens fail (4.6) *)
+  mutable leases : Site.t list;
+  (* sites granted a read lease on this file; broken by callback
+     (Lease_break) when a writer opens, the version advances, a conflict
+     or delete is recorded, or the partition changes *)
 }
 
 type css_fg = { css_files : (int, css_file) Hashtbl.t }
@@ -67,8 +79,13 @@ type css_fg = { css_files : (int, css_file) Hashtbl.t }
 
 (* A write-behind run: adjacent write chunks coalesce into one buffer and
    travel to the SS as a single [Write_pages] batch. *)
-type wb_run = { wb_off : int; (* absolute byte offset of the run's start *)
-                wb_buf : Buffer.t }
+type wb_run = {
+  wb_off : int; (* absolute byte offset of the run's start *)
+  wb_buf : Buffer.t;
+  wb_serial : int;
+  (* ties the flush timer to the run it was armed for: a timer whose run
+     has already been flushed (and possibly replaced) is a no-op *)
+}
 
 type ofile = {
   o_gf : Gfile.t;
@@ -87,6 +104,9 @@ type ofile = {
                                             ranges, to dedup overlapping fetches *)
   mutable o_wb : wb_run option; (* pending write-behind run, if any *)
   mutable o_closed : bool;
+  mutable o_lease : Openlease.entry option;
+  (* the lease grant this open rides: its close is deferred while the
+     lease lives (the entry retains the registered SS/CSS state) *)
 }
 
 (* ---- SS state: served opens and shadow sessions (2.3.5/2.3.6) ---- *)
@@ -166,6 +186,9 @@ type t = {
   (* SS buffer cache fronting pack/disk page reads, same version-keying *)
   name_cache : Namecache.t;
   (* (directory, component) -> child links, vv-validated (section 2.3.4) *)
+  open_leases : Openlease.t;
+  (* retained open grants of lease-backed read opens, for zero-message
+     re-opens and deferred closes *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int * float) Queue.t;
   (* file, target version, modified pages ([] = whole file), retries left,

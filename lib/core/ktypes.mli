@@ -32,6 +32,13 @@ type config = {
       (** maximum pages per bulk transfer: streaming-read fetch window,
           write-behind batch size, and propagation pull batch. 1 disables
           the bulk layer and reproduces the one-page-per-RTT protocols. *)
+  open_lease : bool;
+      (** CSS grants revocable read leases on open: the US retains the
+          whole open grant across close and re-opens with zero messages
+          until a callback break. [false] keeps today's protocol
+          byte-identical. *)
+  open_lease_entries : int;
+      (** retained open grants per site; 0 disables the lease layer too *)
 }
 
 val default_config : config
@@ -48,15 +55,20 @@ type css_file = {
   mutable css_deleted : bool;
   mutable css_conflict : bool;
       (** unresolved version conflict: normal opens fail (§4.6) *)
+  mutable leases : Site.t list;
+      (** sites granted a read lease on this file; broken by callback
+          ([Lease_break]) when a writer opens, the version advances, a
+          conflict or delete is recorded, or the partition changes *)
 }
 
 type css_fg = { css_files : (int, css_file) Hashtbl.t }
 
 (** {1 US state: incore inodes for open files (§2.3.3)} *)
 
-type wb_run = { wb_off : int; wb_buf : Buffer.t }
+type wb_run = { wb_off : int; wb_buf : Buffer.t; wb_serial : int }
 (** A write-behind run: adjacent write chunks coalesced at the US, sent to
-    the SS as one [Write_pages] batch at the next flush point. *)
+    the SS as one [Write_pages] batch at the next flush point.
+    [wb_serial] ties the flush timer to the run it was armed for. *)
 
 type ofile = {
   o_gf : Gfile.t;
@@ -76,6 +88,9 @@ type ofile = {
       (** scheduled readahead ranges (first, count), deduping overlaps *)
   mutable o_wb : wb_run option; (** pending write-behind run *)
   mutable o_closed : bool;
+  mutable o_lease : Openlease.entry option;
+      (** the lease grant this open rides: its close is deferred while
+          the lease lives *)
 }
 
 (** {1 SS state: served opens and shadow sessions (§2.3.5, §2.3.6)} *)
@@ -160,6 +175,9 @@ type t = {
       (** SS buffer cache fronting pack/disk page reads, same keying *)
   name_cache : Namecache.t;
       (** (directory, component) → child links, vv-validated (§2.3.4) *)
+  open_leases : Openlease.t;
+      (** retained open grants of lease-backed read opens: zero-message
+          re-opens and deferred closes *)
   mutable prop_pending : Gfile.Set.t;
   prop_queue : (Gfile.t * Vvec.t * int list * int * float) Queue.t;
       (** file, target version, modified pages ([] = all), retries left,

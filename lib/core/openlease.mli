@@ -1,0 +1,65 @@
+(** Per-site cache of CSS-granted open leases.
+
+    Retains the full open grant (serving SS, inode info, incore-inode
+    slot) of lease-backed read/internal opens across [close], in an LRU
+    on {!Storage.Lru.Make}. A re-open while the lease is valid completes
+    with zero messages; the close of a lease-backed open is deferred
+    until the lease dies (callback break, local commit observation,
+    capacity eviction, partition scrub), when exactly one batched close
+    travels via the [on_dead] callback installed by [Kernel.create].
+
+    Counters: [open.lease.hit], [open.lease.miss], [open.lease.break],
+    [open.lease.evict], [open.lease.defer] (the last is counted by the
+    US close path). *)
+
+type entry = {
+  le_gf : Catalog.Gfile.t;
+  le_ss : Net.Site.t;
+  le_mode : Proto.open_mode;
+  le_info : Proto.inode_info;
+  le_slot : int;
+  le_vv : Vv.Version_vector.t;
+  mutable le_active : int;  (** local opens currently riding this grant *)
+  mutable le_broken : bool; (** dead: no reuse; close sent at last drain *)
+}
+
+type t
+
+val create : stats:Sim.Stats.t -> capacity:int -> unit -> t
+(** Disabled (never grants rides, ignores inserts) when [capacity <= 0]. *)
+
+val enabled : t -> bool
+
+val set_on_dead : t -> (entry -> unit) -> unit
+(** Install the deferred-close sender: called exactly once per entry when
+    the lease is dead and no local open rides it. *)
+
+val length : t -> int
+
+val find_entry : t -> Catalog.Gfile.t -> entry option
+(** Lookup without recency or counter effects. *)
+
+val acquire : t -> Catalog.Gfile.t -> entry option
+(** Warm re-open: returns the live entry with its rider count bumped, or
+    [None] (counted as a miss). *)
+
+val insert : t -> entry -> unit
+(** Register a fresh grant; may evict the LRU entry (one batched close). *)
+
+val kill : ?counter:string -> t -> Catalog.Gfile.t -> unit
+(** Break the lease on a file: no further re-opens ride it; the deferred
+    close goes out now (idle) or at the last riding close. [counter]
+    names the [open.lease.*] statistic (default ["break"]). *)
+
+val note_commit : t -> Catalog.Gfile.t -> Vv.Version_vector.t -> unit
+(** A commit at [vv] was observed locally: kill any lease granted on a
+    different version, ahead of the CSS callback. *)
+
+val kill_if : t -> (entry -> bool) -> unit
+
+val scrub : t -> unit
+(** Partition event: kill every lease (§5.6 lock-table scrub analogue),
+    sending deferred closes best-effort. *)
+
+val clear : t -> unit
+(** Crash: drop everything silently, sending nothing. *)

@@ -440,9 +440,10 @@ let handle_reclaim k gf =
   | None -> ());
   Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
   (* A reclaimed inode number can be reallocated: drop every name-cache
-     link into or out of it. *)
+     link into or out of it, and any retained open grant on it. *)
   Namecache.invalidate_dir k.name_cache gf;
   Namecache.invalidate_child k.name_cache gf;
+  Openlease.kill k.open_leases gf;
   Proto.R_ok
 
 (* ---- named pipes (section 2.4.2): the fifo's single SS serializes ---- *)

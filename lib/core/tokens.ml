@@ -131,7 +131,11 @@ let acquire k fd =
     match resp with
     | Proto.R_token { granted = true; state } ->
       fd.f_offset <- (match int_of_string_opt state with Some v -> v | None -> 0);
-      fd.f_valid <- true
+      fd.f_valid <- true;
+      (* The token came from elsewhere: another site touched this shared
+         open since we last did. Any retained lease grant on the file must
+         revalidate through the CSS rather than short-circuit the open. *)
+      Openlease.kill k.open_leases fd.f_gf
     | Proto.R_token { granted = false; _ } | Proto.R_err _ ->
       err Proto.Edeadtoken "could not acquire descriptor token"
     | _ -> err Proto.Eio "unexpected token response"

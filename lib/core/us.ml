@@ -20,12 +20,62 @@ let local_vv_of k gf =
     |> Option.map (fun (i : Inode.t) -> i.Inode.vv)
 
 (* Open <filegroup, inode>: interrogate the CSS, which selects the SS
-   (Figure 2). Returns the US incore inode. *)
-let open_gf ?(shared = false) k gf mode =
+   (Figure 2). Returns the US incore inode.
+
+   A retained open lease short-circuits the whole exchange: a read or
+   internal re-open of a file whose grant is still live completes with
+   zero messages — no [Open_req], no storage poll — riding the grant the
+   CSS issued at the cold open. Shared opens never ride a lease (their
+   offset token traffic needs the full registration). *)
+let rec open_gf ?(shared = false) k gf mode =
   let fi = fg_info k gf.Gfile.fg in
+  let lease_ride =
+    match mode with
+    | (Proto.Mode_read | Proto.Mode_internal) when not shared -> (
+      match Openlease.acquire k.open_leases gf with
+      | Some e when in_partition k e.Openlease.le_ss -> Some e
+      | Some e ->
+        (* The serving SS left the partition under us: the grant is dead
+           even if no break callback made it through. *)
+        e.Openlease.le_active <- e.Openlease.le_active - 1;
+        Openlease.kill k.open_leases gf;
+        None
+      | None -> None)
+    | _ -> None
+  in
+  match lease_ride with
+  | Some e ->
+    let o =
+      {
+        o_gf = gf;
+        o_serial = fresh_serial k;
+        o_mode = mode;
+        o_ss = e.Openlease.le_ss;
+        o_info = e.Openlease.le_info;
+        (* Leases only exist while no writer does. *)
+        o_nocache = false;
+        o_dirty = false;
+        o_last_lpage = -1;
+        o_guess = e.Openlease.le_slot;
+        o_window = 1;
+        o_ra_frontier = 0;
+        o_inflight = [];
+        o_wb = None;
+        o_closed = false;
+        o_lease = Some e;
+      }
+    in
+    Hashtbl.add k.open_files (gf, o.o_serial) o;
+    record k ~tag:"us.open.lease"
+      (Format.asprintf "%a %a ss=%a" Gfile.pp gf Proto.pp_mode mode Site.pp
+         e.Openlease.le_ss);
+    o
+  | None -> open_gf_cold ~shared k fi gf mode
+
+and open_gf_cold ~shared k fi gf mode =
   let us_vv = local_vv_of k gf in
   match rpc k fi.css_site (Proto.Open_req { gf; mode; us_vv; shared }) with
-  | Proto.R_open { ss; info; others; nocache; slot } ->
+  | Proto.R_open { ss; info; others; nocache; slot; lease } ->
     let info =
       if Site.equal ss k.site then begin
         (* We serve ourselves: the real disk inode is local. *)
@@ -45,6 +95,25 @@ let open_gf ?(shared = false) k gf mode =
       Ss.add_us s k.site;
       s.s_others <- others
     end;
+    let lease_entry =
+      if lease && Openlease.enabled k.open_leases then begin
+        let e =
+          {
+            Openlease.le_gf = gf;
+            le_ss = ss;
+            le_mode = mode;
+            le_info = info;
+            le_slot = slot;
+            le_vv = info.Proto.i_vv;
+            le_active = 1;
+            le_broken = false;
+          }
+        in
+        Openlease.insert k.open_leases e;
+        Some e
+      end
+      else None
+    in
     let o =
       {
         o_gf = gf;
@@ -63,6 +132,7 @@ let open_gf ?(shared = false) k gf mode =
         o_inflight = [];
         o_wb = None;
         o_closed = false;
+        o_lease = lease_entry;
       }
     in
     Hashtbl.add k.open_files (gf, o.o_serial) o;
@@ -127,10 +197,16 @@ let flush_writes = flush_wb
 let start_wb_run k o ~off data =
   let buf = Buffer.create (max 64 (String.length data)) in
   Buffer.add_string buf data;
-  o.o_wb <- Some { wb_off = off; wb_buf = buf };
+  let serial = fresh_serial k in
+  o.o_wb <- Some { wb_off = off; wb_buf = buf; wb_serial = serial };
+  (* The timer is tied to this run by serial: if the run was already pushed
+     out (and possibly replaced by a later one) the timer is a no-op rather
+     than flushing somebody else's half-built run early. *)
   Engine.schedule k.engine ~delay:wb_flush_delay (fun () ->
-      if k.alive && not o.o_closed then
+      match o.o_wb with
+      | Some run when run.wb_serial = serial && k.alive && not o.o_closed -> (
         match flush_wb k o with () -> () | exception Error _ -> ())
+      | Some _ | None -> ())
 
 (* ---- windowed streaming reads (bulk read path) ---- *)
 
@@ -440,24 +516,55 @@ let commit k o = ignore (commit_gen k o ~abort:false ~delete:false)
 
 let abort k o = ignore (commit_gen k o ~abort:true ~delete:false)
 
+(* Send the one batched close a dead lease owes: the [Us_close] the cold
+   open deferred. Installed as [Openlease.on_dead] by [Kernel.create], so
+   breaks arriving through dispatch, eviction or recovery all route here. *)
+let lease_send_close k (e : Openlease.entry) =
+  if k.alive then begin
+    record k ~tag:"us.lease.close" (Gfile.to_string e.Openlease.le_gf);
+    if Site.equal e.Openlease.le_ss k.site then
+      (try
+         ignore
+           (Ss.handle_us_close k ~src:k.site e.Openlease.le_gf ~mode:e.Openlease.le_mode)
+       with Error _ -> ())
+    else
+      ignore
+        (rpc_result k e.Openlease.le_ss
+           (Proto.Us_close { gf = e.Openlease.le_gf; mode = e.Openlease.le_mode }))
+    (* An unreachable SS is handled by reconfiguration cleanup. *)
+  end
+
+(* One local open stops riding the lease. If the lease already died while
+   it was open, the last rider out sends the deferred close. *)
+let lease_drop_rider k (e : Openlease.entry) =
+  e.Openlease.le_active <- e.Openlease.le_active - 1;
+  if e.Openlease.le_broken && e.Openlease.le_active <= 0 then lease_send_close k e
+
 (* Close: flush (commit) any modification, then run the close protocol
-   US -> SS -> CSS (section 2.3.3). *)
+   US -> SS -> CSS (section 2.3.3). A lease-backed read open defers the
+   protocol instead: the SS keeps serving this US, and the [Us_close] /
+   [Ss_close] pair travels once, when the lease dies. *)
 let close k o =
   if not o.o_closed then begin
     if o.o_dirty then commit k o;
     o.o_closed <- true;
     Hashtbl.remove k.open_files (o.o_gf, o.o_serial);
-    let resp =
-      if Site.equal o.o_ss k.site then
-        (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
-         with Error _ -> Proto.R_ok)
-      else
-        match rpc_result k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
-        | Ok resp -> resp
-        | Stdlib.Error _ -> Proto.R_ok
-        (* A close that cannot reach the SS is handled by cleanup. *)
-    in
-    (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ());
+    (match o.o_lease with
+    | Some e ->
+      if not e.Openlease.le_broken then Sim.Stats.incr (stats k) "open.lease.defer";
+      lease_drop_rider k e
+    | None ->
+      let resp =
+        if Site.equal o.o_ss k.site then
+          (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
+           with Error _ -> Proto.R_ok)
+        else
+          match rpc_result k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
+          | Ok resp -> resp
+          | Stdlib.Error _ -> Proto.R_ok
+          (* A close that cannot reach the SS is handled by cleanup. *)
+      in
+      (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ()));
     (* Without retention the buffered pages die with the open; with it they
        stay, version-keyed, so a re-open of the same version hits warm. *)
     if not k.config.cache_retention then
@@ -480,11 +587,21 @@ let stat_gf k gf =
       let reachable = List.filter (fun s -> in_partition k s) sites in
       match reachable with
       | [] -> err Proto.Enet "no reachable copy of %a" Gfile.pp gf
-      | s :: _ -> (
-        match rpc k s (Proto.Stat_req { gf }) with
-        | Proto.R_stat { info = Some info; _ } -> info
-        | Proto.R_stat { info = None; _ } -> err Proto.Enoent "stat: no copy"
-        | Proto.R_err e -> err e "stat failed"
-        | _ -> err Proto.Eio "unexpected stat response"))
+      | _ :: _ ->
+        (* The CSS's storing-site list can be momentarily stale, and any
+           one site can be newly unreachable: fall through the remaining
+           candidates rather than failing on the first. *)
+        let rec try_sites = function
+          | [] -> err Proto.Enoent "stat %a: no reachable copy answered" Gfile.pp gf
+          | s :: rest -> (
+            match rpc_result k s (Proto.Stat_req { gf }) with
+            | Ok (Proto.R_stat { info = Some info; _ }) -> info
+            | Ok (Proto.R_stat { info = None; _ })
+            | Ok (Proto.R_err _)
+            | Stdlib.Error _ ->
+              try_sites rest
+            | Ok _ -> err Proto.Eio "unexpected stat response")
+        in
+        try_sites reachable)
     | Proto.R_err e -> err e "stat: CSS lookup failed"
     | _ -> err Proto.Eio "unexpected where response")

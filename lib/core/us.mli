@@ -50,7 +50,18 @@ val abort : Ktypes.t -> Ktypes.ofile -> unit
 (** Undo any changes back to the previous commit point. *)
 
 val close : Ktypes.t -> Ktypes.ofile -> unit
-(** Flush (commit) if dirty, then run the US→SS→CSS close protocol. *)
+(** Flush (commit) if dirty, then run the US→SS→CSS close protocol. The
+    close of a lease-backed read open is deferred: the retained grant
+    keeps the SS serving state registered, and the protocol runs once
+    when the lease dies. *)
+
+val lease_send_close : Ktypes.t -> Openlease.entry -> unit
+(** Send the deferred [Us_close] a dead lease owes. Installed as the
+    {!Openlease} [on_dead] callback by [Kernel.create]. *)
+
+val lease_drop_rider : Ktypes.t -> Openlease.entry -> unit
+(** One local open stops riding the lease; the last rider of a broken
+    lease sends the deferred close. *)
 
 val delete_file : Ktypes.t -> Ktypes.ofile -> unit
 (** Mark the inode deleted and commit (§2.3.7). *)

@@ -189,6 +189,11 @@ type req =
   | Page_invalidate of { gf : Catalog.Gfile.t; lpage : int }
     (* SS -> other USs it serves: your buffered copy of this page is no
        longer valid (the page-valid tokens of section 3.2) *)
+  | Lease_break of { gf : Catalog.Gfile.t }
+    (* CSS -> lease-holding US: the read lease granted on this file is
+       revoked (a writer opened, a new version committed, a conflict or
+       delete was recorded, or the partition changed). The holder drops
+       its retained open grant and sends any deferred close. *)
   (* --- create / delete (section 2.3.7) --- *)
   | Create_req of {
       fg : int;
@@ -248,6 +253,12 @@ type resp =
       others : Net.Site.t list;
       nocache : bool; (* a writer is active: using sites must not buffer pages *)
       slot : int;     (* the SS's incore-inode slot: the US's read guess *)
+      lease : bool;
+        (* the CSS granted a revocable read lease on (gf, vv): the US may
+           retain the whole grant across close and re-open with no
+           messages until a [Lease_break] arrives. Packs into the same
+           flag byte as [nocache], so the wire size is unchanged and the
+           [open_lease = false] ablation is byte-identical. *)
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }
@@ -319,6 +330,7 @@ let req_bytes = function
     + site_list_bytes replicas
   | Reclaim_req _ -> header + gfile_bytes
   | Page_invalidate _ -> header + gfile_bytes + 4
+  | Lease_break _ -> header + gfile_bytes
   | Create_req { owner; replicate_at; _ } ->
     header + 12 + String.length owner + site_list_bytes replicate_at
   | Link_count _ -> header + gfile_bytes + 4
@@ -399,6 +411,7 @@ let req_tag = function
   | Commit_notify _ -> "notify"
   | Reclaim_req _ -> "reclaim"
   | Page_invalidate _ -> "page.invalidate"
+  | Lease_break _ -> "lease.break"
   | Create_req _ -> "create"
   | Link_count _ -> "link"
   | Set_attr _ -> "setattr"
@@ -431,7 +444,7 @@ let req_tag = function
 let req_idempotent = function
   | Read_page _ | Read_pages _ | Stat_req _ | Where_stored _ | Lookup_req _
   | Open_files_query _ | Pack_inventory _ | Token_state_req _ | Token_req _
-  | Page_invalidate _ | Reclaim_req _ | Commit_notify _ | Write_page _
+  | Page_invalidate _ | Lease_break _ | Reclaim_req _ | Commit_notify _ | Write_page _
   | Write_pages _ | Truncate_req _
   | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _
   | Status_check _ ->

@@ -176,6 +176,11 @@ type req =
           number (§2.3.7). *)
   | Page_invalidate of { gf : Catalog.Gfile.t; lpage : int }
       (** SS → other USs: buffered copy no longer valid (§3.2). *)
+  | Lease_break of { gf : Catalog.Gfile.t }
+      (** CSS → lease-holding US: the read lease on this file is revoked
+          (writer open, new committed version, conflict/delete, or a
+          partition event). The holder drops its retained open grant and
+          sends any deferred close. *)
   | Create_req of {
       fg : int;
       ftype : Storage.Inode.ftype;
@@ -248,6 +253,11 @@ type resp =
       others : Net.Site.t list;
       nocache : bool;
       slot : int;
+      lease : bool;
+        (** the CSS granted a revocable read lease on [(gf, vv)]: the US
+            may retain the whole grant across close and re-open with zero
+            messages until a [Lease_break] arrives. Packs into the same
+            flag byte as [nocache] (wire size unchanged). *)
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }

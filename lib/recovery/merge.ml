@@ -79,8 +79,11 @@ let handle_announce k ~members ~css_map =
   k.site_table <- List.sort_uniq Site.compare members;
   (* Directories may have changed arbitrarily in the other partition, and
      deletions there produced no notification here: start the name cache
-     cold rather than audit it. *)
+     cold rather than audit it. Open leases likewise: files may have
+     advanced in the other partition and CSS roles are about to move, so
+     every retained grant is scrubbed (deferred closes go out now). *)
   Locus_core.Namecache.clear k.name_cache;
+  Locus_core.Openlease.scrub k.open_leases;
   List.iter
     (fun (fg, css) ->
       match List.find_opt (fun fi -> fi.fg = fg) k.fg_table with

@@ -57,6 +57,11 @@ let apply_membership k members =
   let old = k.site_table in
   let departed = List.filter (fun s -> not (List.mem s members)) old in
   k.site_table <- List.sort_uniq Site.compare members;
+  (* No lease survives a partition event: the CSS that granted it may no
+     longer be reachable (or no longer the CSS), so its break callbacks
+     can no longer be trusted to arrive — the analogue of the §5.6
+     lock-table scrub. Deferred closes go out best-effort. *)
+  Locus_core.Openlease.scrub k.open_leases;
   (* Select the new synchronization sites first: the cleanup procedure's
      attempt to reopen lost files at another copy needs a live CSS. *)
   reelect_css k k.site_table;

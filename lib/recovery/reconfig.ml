@@ -30,7 +30,8 @@ let install k =
       | Proto.Read_pages _ | Proto.Write_page _ | Proto.Write_pages _
       | Proto.Truncate_req _ | Proto.Commit_req _
       | Proto.Us_close _ | Proto.Ss_close _ | Proto.Commit_notify _
-      | Proto.Reclaim_req _ | Proto.Page_invalidate _ | Proto.Create_req _
+      | Proto.Reclaim_req _ | Proto.Page_invalidate _ | Proto.Lease_break _
+      | Proto.Create_req _
       | Proto.Link_count _ | Proto.Set_attr _ | Proto.Stat_req _
       | Proto.Where_stored _ | Proto.Lookup_req _
       | Proto.Token_req _ | Proto.Token_state_req _ | Proto.Fork_req _
