@@ -13,13 +13,14 @@ bench:
 
 # A fast slice of the harness as a CI gate: the open protocol (E1), both
 # pathname-resolution experiments (E13 baseline, E19 fast path), the
-# bulk-transfer sweep (E20), and the open-lease sweep (E21) must run to
-# completion. Their PASS/FAIL cells are human-read; this asserts the
-# experiments themselves stay runnable. E20 and E21 also leave
-# BENCH_<experiment>.json behind for machine comparison.
+# bulk-transfer sweep (E20), the open-lease sweep (E21), and the striping
+# sweep (E22) must run to completion. Their PASS/FAIL cells are
+# human-read; this asserts the experiments themselves stay runnable.
+# E20-E22 also leave BENCH_<experiment>.json behind for machine
+# comparison.
 bench-smoke:
-	@dune exec bench/main.exe -- e1 e13 e19 e20 e21 > /dev/null
-	@echo "bench-smoke: OK (e1 e13 e19 e20 e21 ran clean)"
+	@dune exec bench/main.exe -- e1 e13 e19 e20 e21 e22 > /dev/null
+	@echo "bench-smoke: OK (e1 e13 e19 e20 e21 e22 ran clean)"
 
 # Warning-as-error gate: a cold build must produce no compiler output at
 # all. dune only prints warnings when it (re)compiles, so the gate cleans

@@ -14,7 +14,7 @@ let fg_state k fg =
   match Hashtbl.find_opt k.css_state fg with
   | Some s -> s
   | None ->
-    let s = { css_files = Hashtbl.create 64 } in
+    let s = { css_files = Hashtbl.create (max 16 k.config.table_size_hint) } in
     Hashtbl.add k.css_state fg s;
     s
 
@@ -24,12 +24,13 @@ let new_file_state () =
   {
     latest_vv = Vvec.zero;
     site_vv = Site.Map.empty;
-    readers = [];
+    readers = Site.Map.empty;
     writer = None;
     writer_ss = None;
     css_deleted = false;
     css_conflict = false;
-    leases = [];
+    leases = Site.Set.empty;
+    stripes = [];
   }
 
 let find_file k fg ino = Hashtbl.find_opt (fg_state k fg).css_files ino
@@ -105,10 +106,9 @@ let local_info k gf =
    entry is caught by the version-keyed page cache and self-cleans at the
    next break or eviction. *)
 let break_leases k gf (f : css_file) =
-  match f.leases with
-  | [] -> ()
-  | holders ->
-    f.leases <- [];
+  if not (Site.Set.is_empty f.leases) then begin
+    let holders = Site.Set.elements f.leases in
+    f.leases <- Site.Set.empty;
     record k ~tag:"css.lease.break"
       (Format.asprintf "%a -> [%s]" Gfile.pp gf
          (String.concat "," (List.map Site.to_string holders)));
@@ -119,18 +119,19 @@ let break_leases k gf (f : css_file) =
           ignore (k.dispatch k.site (Proto.Lease_break { gf }))
         else notify k h (Proto.Lease_break { gf }))
       holders
+  end
 
 let lease_config_on k = k.config.open_lease && k.config.open_lease_entries > 0
 
 let count_reader f us =
-  let n = try List.assoc us f.readers with Not_found -> 0 in
-  f.readers <- (us, n + 1) :: List.remove_assoc us f.readers
+  let n = match Site.Map.find_opt us f.readers with Some n -> n | None -> 0 in
+  f.readers <- Site.Map.add us (n + 1) f.readers
 
 let uncount_reader f us =
-  match List.assoc_opt us f.readers with
+  match Site.Map.find_opt us f.readers with
   | None -> ()
-  | Some 1 -> f.readers <- List.remove_assoc us f.readers
-  | Some n -> f.readers <- (us, n - 1) :: List.remove_assoc us f.readers
+  | Some 1 -> f.readers <- Site.Map.remove us f.readers
+  | Some n -> f.readers <- Site.Map.add us (n - 1) f.readers
 
 (* The CSS half of the open protocol. Returns R_open { ss; info } or an
    error. Implements both optimizations of section 2.3.3: the US's own copy
@@ -147,6 +148,13 @@ let handle_open k ~src gf mode ~shared us_vv =
     else if Site.Map.is_empty f.site_vv then Proto.R_err Proto.Enoent
     else begin
       match mode with
+      | _ when f.stripes <> [] && f.writer <> None ->
+        (* A striped modification session is in flight: its fresh pages
+           are scattered over per-stripe shadow sessions, so no other
+           open (read or shared) can be served coherently by any single
+           site until the writer commits. Classic (stripe_width = 1)
+           runs never pin a map and never take this branch. *)
+        Proto.R_err Proto.Ebusy
       | Proto.Mode_modify when f.writer <> None && not shared -> Proto.R_err Proto.Ebusy
       | Proto.Mode_read | Proto.Mode_internal | Proto.Mode_modify ->
         let candidates = sites_with_latest k f in
@@ -175,9 +183,24 @@ let handle_open k ~src gf mode ~shared us_vv =
               i_mtime = 0.0;
               i_vv = vv;
               i_deleted = false;
+              i_stripes = [];
             }
           in
-          let choice =
+          (* Optimization 2 of section 2.3.3: the CSS stores the latest
+             version itself — select it with no message overhead,
+             registering the serving state a Storage_req would have. *)
+          let css_self () =
+            match local_info k gf with
+            | Some info
+              when List.mem k.site candidates
+                   && Vvec.dominates_or_equal info.Proto.i_vv f.latest_vv ->
+              let s = ss_get_open k gf in
+              ss_add_us s src;
+              s.s_others <- others k.site;
+              Some (k.site, info, s.s_slot)
+            | Some _ | None -> None
+          in
+          let classic_choice () =
             (* While a writer is active only one storage site may be
                involved (section 2.3.6 footnote): every open is directed to
                writer_ss. *)
@@ -189,19 +212,9 @@ let handle_open k ~src gf mode ~shared us_vv =
                    with no storage poll. *)
                 Some (src, own_inode (Option.get us_vv), 0)
               else begin
-                (* Optimization 2: the CSS stores the latest version itself
-                   (no message overhead); otherwise poll candidates. *)
-                match local_info k gf with
-                | Some info
-                  when List.mem k.site candidates
-                       && Vvec.dominates_or_equal info.Proto.i_vv f.latest_vv ->
-                  (* Register the serving state that a Storage_req would
-                     have set up. *)
-                  let s = ss_get_open k gf in
-                  ss_add_us s src;
-                  s.s_others <- others k.site;
-                  Some (k.site, info, s.s_slot)
-                | Some _ | None ->
+                match css_self () with
+                | Some x -> Some x
+                | None ->
                   let rec try_sites = function
                     | [] -> None
                     | c :: rest -> (
@@ -209,6 +222,54 @@ let handle_open k ~src gf mode ~shared us_vv =
                   in
                   try_sites candidates
               end
+          in
+          (* Stripe only a solitary open: a modify session fans its pages
+             over per-stripe shadow sessions, and a striped read wants an
+             undisturbed whole-version copy at every stripe site, so any
+             concurrent sharing falls back to the classic single-SS
+             protocol. stripe_width = 1 disables the machinery. *)
+          let stripes_granted =
+            if k.config.stripe_width <= 1 || shared then []
+            else
+              match mode with
+              | Proto.Mode_internal -> []
+              | Proto.Mode_read ->
+                if f.writer = None && f.writer_ss = None && not us_is_current then
+                  stripe_map ~width:k.config.stripe_width ~ino candidates
+                else []
+              | Proto.Mode_modify ->
+                if f.writer = None && f.writer_ss = None && Site.Map.is_empty f.readers
+                then stripe_map ~width:k.config.stripe_width ~ino candidates
+                else []
+          in
+          let choice, stripes =
+            match stripes_granted with
+            | [] -> (classic_choice (), [])
+            | primary :: peers -> (
+              match mode with
+              | Proto.Mode_modify -> (
+                (* Poll every stripe site: each opens serving state and
+                   registers the US, so a site failure mid-write can abort
+                   the orphaned per-stripe sessions. (If a poll fails after
+                   earlier ones succeeded, the leftover registrations are
+                   harmless serving state, swept on close or failure.) *)
+                let prim =
+                  if Site.equal primary k.site then css_self () else poll primary
+                in
+                match prim with
+                | Some x when List.for_all (fun p -> poll p <> None) peers ->
+                  (Some x, stripes_granted)
+                | Some _ | None -> (classic_choice (), []))
+              | Proto.Mode_read | Proto.Mode_internal -> (
+                (* Only the primary is polled and registered: peers serve
+                   strided reads statelessly from their packs, so a striped
+                   read open costs the same messages as a classic one. *)
+                let prim =
+                  if Site.equal primary k.site then css_self () else poll primary
+                in
+                match prim with
+                | Some x -> (Some x, stripes_granted)
+                | None -> (classic_choice (), [])))
           in
           match choice with
           | None -> Proto.R_err Proto.Enet
@@ -228,18 +289,31 @@ let handle_open k ~src gf mode ~shared us_vv =
             | Proto.Mode_modify ->
               if f.writer = None then f.writer <- Some src;
               f.writer_ss <- Some ss;
+              (* Pin the stripe map while the session lives, so the CSS
+                 can refuse opens it could not serve coherently. *)
+              f.stripes <- stripes;
               (* A writer exists: no outstanding lease may keep serving
                  zero-message re-opens of the now-mutable file. *)
               break_leases k gf f
             | Proto.Mode_read | Proto.Mode_internal ->
               count_reader f src;
-              if lease && not (List.mem src f.leases) then
-                f.leases <- src :: f.leases);
+              if lease then f.leases <- Site.Set.add src f.leases);
             record k ~tag:"css.open"
-              (Format.asprintf "%a %a by %a -> ss %a" Gfile.pp gf Proto.pp_mode
-                 mode Site.pp src Site.pp ss);
+              (Format.asprintf "%a %a by %a -> ss %a%s" Gfile.pp gf Proto.pp_mode
+                 mode Site.pp src Site.pp ss
+                 (if stripes = [] then ""
+                  else
+                    Printf.sprintf " stripes [%s]"
+                      (String.concat "," (List.map Site.to_string stripes))));
             Proto.R_open
-              { ss; info; others = others ss; nocache = f.writer <> None; slot; lease }
+              {
+                ss;
+                info = { info with Proto.i_stripes = stripes };
+                others = others ss;
+                nocache = f.writer <> None;
+                slot;
+                lease;
+              }
         end
     end
   end
@@ -256,11 +330,14 @@ let handle_ss_close k gf ~us ~mode =
       | Proto.Mode_modify ->
         if f.writer = Some us then begin
           f.writer <- None;
-          if f.readers = [] then f.writer_ss <- None
+          (* A striped writer's close arrives once per stripe site; the
+             first Ss_close unpins, the rest are no-ops. *)
+          f.stripes <- [];
+          if Site.Map.is_empty f.readers then f.writer_ss <- None
         end
       | Proto.Mode_read | Proto.Mode_internal ->
         uncount_reader f us;
-        if f.readers = [] && f.writer = None then f.writer_ss <- None);
+        if Site.Map.is_empty f.readers && f.writer = None then f.writer_ss <- None);
       Proto.R_ok
   end
 
@@ -332,13 +409,18 @@ let drop_site k dead =
         (fun _ino f ->
           if f.writer = Some dead then begin
             f.writer <- None;
-            f.writer_ss <- None
+            f.writer_ss <- None;
+            f.stripes <- []
           end;
-          f.readers <- List.remove_assoc dead f.readers;
+          (* A stripe site left mid-session: the scattered session can
+             never commit coherently, so unpin; the writer's own site
+             failure handling aborts its side. *)
+          if List.exists (Site.equal dead) f.stripes then f.stripes <- [];
+          f.readers <- Site.Map.remove dead f.readers;
           (* A lease must never survive a partition event (the holders
              scrub their own side; no callback can reach a departed
              site). *)
-          f.leases <- List.filter (fun s -> not (Site.equal s dead)) f.leases)
+          f.leases <- Site.Set.remove dead f.leases)
         st.css_files)
     k.css_state
 

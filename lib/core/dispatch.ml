@@ -15,15 +15,16 @@ let handle k ~src (req : Proto.req) : Proto.resp =
       Ss.handle_storage_req k gf ~vv ~us ~others
     (* data transfer *)
     | Proto.Read_page { gf; lpage; guess } -> Ss.handle_read_page ~guess k gf lpage
-    | Proto.Read_pages { gf; first; count; guess } ->
-      Ss.handle_read_pages ~guess k gf ~first ~count
+    | Proto.Read_pages { gf; first; count; guess; stride } ->
+      Ss.handle_read_pages ~guess ~stride k gf ~first ~count
     | Proto.Write_page { gf; lpage; whole; off; data } ->
       Ss.handle_write_page k ~src gf ~lpage ~whole ~off ~data
     | Proto.Write_pages { gf; first; off; data } ->
       Ss.handle_write_pages k ~src gf ~first ~off ~data
     | Proto.Truncate_req { gf; size } -> Ss.handle_truncate k gf ~size
-    | Proto.Commit_req { gf; us = _; abort; delete; force_vv } ->
-      Ss.handle_commit ?force_vv k gf ~abort ~delete
+    | Proto.Commit_req { gf; us = _; abort; delete; force_vv; stripes } ->
+      Ss.handle_commit ?force_vv ~stripes k gf ~abort ~delete
+    | Proto.Stripe_collect { gf } -> Ss.handle_stripe_collect k gf
     (* close protocol *)
     | Proto.Us_close { gf; mode } -> Ss.handle_us_close k ~src gf ~mode
     | Proto.Ss_close { gf; ss = _; us; mode } -> Css.handle_ss_close k gf ~us ~mode

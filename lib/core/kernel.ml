@@ -22,6 +22,9 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
       ~on_evict:(fun _ -> Sim.Stats.incr stats counter)
       ~capacity:(max 1 capacity) ()
   in
+  (* Hot tables are pre-sized from the configured hint: a large world
+     would otherwise pay repeated rehashing on every site's tables. *)
+  let hint = max 8 config.table_size_hint in
   let k =
     {
       site;
@@ -31,11 +34,11 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
       config;
       mount;
       fg_table;
-      packs = Hashtbl.create 8;
-      css_state = Hashtbl.create 8;
-      open_files = Hashtbl.create 64;
-      ss_opens = Hashtbl.create 64;
-      ss_slots = Hashtbl.create 64;
+      packs = Hashtbl.create (min hint 64);
+      css_state = Hashtbl.create (min hint 64);
+      open_files = Hashtbl.create hint;
+      ss_opens = Hashtbl.create hint;
+      ss_slots = Hashtbl.create hint;
       us_cache = mk_cache "cache.us.evict" ~capacity:config.us_cache_pages;
       ss_cache = mk_cache "cache.ss.evict" ~capacity:config.ss_cache_pages;
       name_cache = Namecache.create ~stats ~capacity:config.name_cache_entries ();
@@ -45,13 +48,14 @@ let create ~site ~machine_type ~engine ~net ~mount ~fg_table ?(config = default_
           ();
       prop_pending = Gfile.Set.empty;
       prop_queue = Queue.create ();
-      shared_fds = Hashtbl.create 32;
-      procs = Hashtbl.create 32;
+      shared_fds = Hashtbl.create (min hint 64);
+      procs = Hashtbl.create (min hint 64);
       pipe_bufs = Hashtbl.create 8;
       next_serial = 1;
       dispatch = (fun _ _ -> Proto.R_err Proto.Eio);
       extra_handler = (fun _ _ -> None);
       site_table = [ site ];
+      site_set = Site.Set.singleton site;
       alive = true;
       recon_stage = 0;
     }
@@ -65,7 +69,7 @@ let site k = k.site
 
 let add_pack k pack = Hashtbl.replace k.packs (Storage.Pack.fg pack) pack
 
-let set_site_table k sites = k.site_table <- List.sort_uniq Site.compare sites
+let set_site_table k sites = set_sites k sites
 
 let site_table k = k.site_table
 
@@ -354,10 +358,13 @@ let handle_site_failure k dead =
   (* Retained open grants served by the failed SS are dead: their deferred
      closes go out now (and are lost with the site — cleanup covers it). *)
   Openlease.kill_if k.open_leases (fun e -> Site.equal e.Openlease.le_ss dead);
-  (* US side: open files served by the failed SS. *)
+  (* US side: open files served by the failed SS, or striped across it. *)
   Hashtbl.iter
     (fun _ (o : ofile) ->
-      if (not o.o_closed) && Site.equal o.o_ss dead then begin
+      if
+        (not o.o_closed)
+        && (Site.equal o.o_ss dead || List.exists (Site.equal dead) o.o_stripes)
+      then begin
         match o.o_mode with
         | Proto.Mode_modify ->
           (* Discard pages, set error in the local file descriptor. *)
@@ -366,8 +373,17 @@ let handle_site_failure k dead =
           o.o_closed <- true;
           Sim.Stats.incr (stats k) "cleanup.us.update_lost";
           record k ~tag:"cleanup" (Format.asprintf "update lost %a" Gfile.pp o.o_gf)
+        | Proto.Mode_read | Proto.Mode_internal
+          when (not (Site.equal o.o_ss dead)) && in_partition k o.o_ss ->
+          (* Only a stripe peer died; the primary still serves a complete
+             copy, so the open degrades to the classic protocol in place. *)
+          o.o_stripes <- [];
+          Sim.Stats.incr (stats k) "cleanup.us.stripe_degraded";
+          record k ~tag:"cleanup"
+            (Format.asprintf "stripe degraded %a" Gfile.pp o.o_gf)
         | Proto.Mode_read | Proto.Mode_internal -> (
           (* Internal close, attempt to reopen at another site. *)
+          o.o_stripes <- [];
           match Us.open_gf k o.o_gf o.o_mode with
           | o' ->
             (* The open now rides the new grant (if any); stop riding the
@@ -375,6 +391,7 @@ let handle_site_failure k dead =
             (match o.o_lease with Some e -> Us.lease_drop_rider k e | None -> ());
             o.o_ss <- o'.o_ss;
             o.o_info <- o'.o_info;
+            o.o_stripes <- o'.o_stripes;
             o.o_lease <- o'.o_lease;
             Hashtbl.remove k.open_files (o'.o_gf, o'.o_serial);
             Sim.Stats.incr (stats k) "cleanup.us.reopened";
@@ -391,9 +408,9 @@ let handle_site_failure k dead =
   let to_drop = ref [] in
   Hashtbl.iter
     (fun gf (s : ss_open) ->
-      if List.mem_assoc dead s.s_uss then begin
-        s.s_uss <- List.remove_assoc dead s.s_uss;
-        if s.s_uss = [] then begin
+      if Site.Map.mem dead s.s_uss then begin
+        s.s_uss <- Site.Map.remove dead s.s_uss;
+        if Site.Map.is_empty s.s_uss then begin
           (match s.s_shadow with
           | Some session ->
             (* Discard pages, close file and abort updates. *)
@@ -445,7 +462,7 @@ let crash k =
   Openlease.clear k.open_leases;
   Queue.clear k.prop_queue;
   k.prop_pending <- Gfile.Set.empty;
-  k.site_table <- [ k.site ];
+  set_sites k [ k.site ];
   record k ~tag:"crash" "volatile state lost"
 
 (* Restart: bring the kernel back up and salvage the disks — orphaned

@@ -40,6 +40,14 @@ type config = {
      callback break. false keeps today's protocol byte-identical. *)
   open_lease_entries : int;
   (* retained open grants per site; 0 disables the lease layer too *)
+  stripe_width : int;
+  (* stripe a file's logical pages across up to this many storage sites
+     holding latest copies: page p lives at stripes.(p mod width). 1
+     disables striping and keeps the classic protocol byte-identical. *)
+  table_size_hint : int;
+  (* initial bucket count for the hot per-kernel hashtables (open files,
+     SS serving state, slots, descriptors); sized up front so large runs
+     don't pay repeated rehashing *)
 }
 
 let default_config =
@@ -55,6 +63,8 @@ let default_config =
     bulk_window = 8;
     open_lease = true;
     open_lease_entries = 64;
+    stripe_width = 1;
+    table_size_hint = 64;
   }
 
 (* ---- CSS state: synchronization and version bookkeeping (2.3.1) ---- *)
@@ -62,15 +72,19 @@ let default_config =
 type css_file = {
   mutable latest_vv : Vvec.t;
   mutable site_vv : Vvec.t Site.Map.t; (* every site storing a copy, with its version *)
-  mutable readers : (Site.t * int) list; (* open-for-read counts per US *)
+  mutable readers : int Site.Map.t; (* open-for-read counts per US *)
   mutable writer : Site.t option;        (* at most one open for modification *)
   mutable writer_ss : Site.t option;     (* the single SS while a writer exists *)
   mutable css_deleted : bool;
   mutable css_conflict : bool; (* unresolved version conflict: normal opens fail (4.6) *)
-  mutable leases : Site.t list;
+  mutable leases : Site.Set.t;
   (* sites granted a read lease on this file; broken by callback
      (Lease_break) when a writer opens, the version advances, a conflict
      or delete is recorded, or the partition changes *)
+  mutable stripes : Site.t list;
+  (* the stripe map pinned while opens are outstanding, so every US of a
+     shared file reads and writes the same page->SS assignment; [] means
+     unstriped (classic single-SS service) *)
 }
 
 type css_fg = { css_files : (int, css_file) Hashtbl.t }
@@ -103,6 +117,10 @@ type ofile = {
   mutable o_inflight : (int * int) list; (* scheduled readahead (first, count)
                                             ranges, to dedup overlapping fetches *)
   mutable o_wb : wb_run option; (* pending write-behind run, if any *)
+  mutable o_stripes : Site.t list;
+  (* stripe map for this open: page p is served by stripes.(p mod width);
+     [] = unstriped, everything goes to [o_ss]. [o_ss] is always the
+     primary (first) stripe site when striped. *)
   mutable o_closed : bool;
   mutable o_lease : Openlease.entry option;
   (* the lease grant this open rides: its close is deferred while the
@@ -115,7 +133,7 @@ type ss_open = {
   s_gf : Gfile.t;
   s_slot : int; (* incore-inode slot; shipped to USs as their read guess (2.3.3) *)
   mutable s_shadow : Storage.Shadow.t option;
-  mutable s_uss : (Site.t * int) list; (* using sites currently served, with counts *)
+  mutable s_uss : int Site.Map.t; (* using sites currently served, with counts *)
   mutable s_others : Site.t list; (* other storing sites, for commit notifications *)
 }
 
@@ -202,6 +220,9 @@ type t = {
   mutable extra_handler : Site.t -> Proto.req -> Proto.resp option;
   (* reconfiguration-protocol handlers, installed by the recovery layer *)
   mutable site_table : Site.t list; (* believed-up sites: this site's partition *)
+  mutable site_set : Site.Set.t;    (* same membership as [site_table], for O(log n)
+                                       partition tests on hot paths; keep in sync via
+                                       [set_sites] *)
   mutable alive : bool;
   mutable recon_stage : int; (* reconfiguration stage, for section 5.7 ordering *)
 }
@@ -235,7 +256,52 @@ let local_pack_exn k fg =
   | Some p -> p
   | None -> err Proto.Eio "site %a has no pack for filegroup %d" Site.pp k.site fg
 
-let in_partition k site = List.mem site k.site_table
+let in_partition k site = Site.Set.mem site k.site_set
+
+(* The only sanctioned way to change the partition membership: keeps the
+   list view (ordering, wire format) and the set view (membership tests)
+   consistent. *)
+let set_sites k sites =
+  let sites = List.sort_uniq Site.compare sites in
+  k.site_table <- sites;
+  k.site_set <- Site.Set.of_list sites
+
+(* Deterministic CSS placement (scale-out): every site computes the same
+   coordinator for a filegroup from the sorted pack-holder list alone, so
+   election needs no negotiation beyond agreeing on the candidates. The
+   multiplicative hash spreads distinct filegroups across their holders;
+   filegroup 0 lands on the lowest holder, preserving the classic
+   single-filegroup layout. *)
+let place_css ~fg candidates =
+  match List.sort_uniq Site.compare candidates with
+  | [] -> None
+  | sorted ->
+    let n = List.length sorted in
+    let idx = fg * 2654435761 land max_int mod n in
+    Some (List.nth sorted idx)
+
+(* Deterministic stripe map for a file: up to [width] distinct sites, all
+   holding the latest version, rotated by inode number so different files
+   spread load across the same holders. Striping only engages when at
+   least two latest-copy holders exist; otherwise the classic single-SS
+   protocol applies ([]). *)
+let stripe_map ~width ~ino candidates =
+  if width <= 1 then []
+  else
+    match List.sort_uniq Site.compare candidates with
+    | [] | [ _ ] -> []
+    | sorted ->
+      let n = List.length sorted in
+      let w = min width n in
+      let arr = Array.of_list sorted in
+      let rot = ino mod n in
+      List.init w (fun i -> arr.((rot + i) mod n))
+
+(* Which stripe site serves logical page [lpage] under map [stripes]. *)
+let stripe_owner stripes lpage =
+  match stripes with
+  | [] -> invalid_arg "stripe_owner: unstriped file"
+  | _ -> List.nth stripes (lpage mod List.length stripes)
 
 (* Cache keys carry the version vector rendered to a string, so a new
    committed version naturally misses (coherence for free). *)
@@ -281,14 +347,16 @@ let ss_get_open k gf =
   | Some s -> s
   | None ->
     let slot = fresh_serial k in
-    let s = { s_gf = gf; s_slot = slot; s_shadow = None; s_uss = []; s_others = [] } in
+    let s =
+      { s_gf = gf; s_slot = slot; s_shadow = None; s_uss = Site.Map.empty; s_others = [] }
+    in
     Hashtbl.add k.ss_opens gf s;
     Hashtbl.replace k.ss_slots slot gf;
     s
 
 let ss_add_us s us =
-  let n = try List.assoc us s.s_uss with Not_found -> 0 in
-  s.s_uss <- (us, n + 1) :: List.remove_assoc us s.s_uss
+  let n = match Site.Map.find_opt us s.s_uss with Some n -> n | None -> 0 in
+  s.s_uss <- Site.Map.add us (n + 1) s.s_uss
 
 let expect_ok = function
   | Proto.R_ok -> ()

@@ -39,6 +39,13 @@ type config = {
           byte-identical. *)
   open_lease_entries : int;
       (** retained open grants per site; 0 disables the lease layer too *)
+  stripe_width : int;
+      (** stripe a file's logical pages across up to this many storage
+          sites holding latest copies; 1 disables striping and keeps the
+          classic protocol byte-identical *)
+  table_size_hint : int;
+      (** initial bucket count for the hot per-kernel hashtables, so
+          large runs don't pay repeated rehashing *)
 }
 
 val default_config : config
@@ -49,16 +56,19 @@ type css_file = {
   mutable latest_vv : Vvec.t;
   mutable site_vv : Vvec.t Site.Map.t;
       (** every site storing a copy, with the version it holds *)
-  mutable readers : (Site.t * int) list; (** open-for-read counts per US *)
+  mutable readers : int Site.Map.t; (** open-for-read counts per US *)
   mutable writer : Site.t option;        (** at most one open for modification *)
   mutable writer_ss : Site.t option;     (** the single SS while a writer exists *)
   mutable css_deleted : bool;
   mutable css_conflict : bool;
       (** unresolved version conflict: normal opens fail (§4.6) *)
-  mutable leases : Site.t list;
+  mutable leases : Site.Set.t;
       (** sites granted a read lease on this file; broken by callback
           ([Lease_break]) when a writer opens, the version advances, a
           conflict or delete is recorded, or the partition changes *)
+  mutable stripes : Site.t list;
+      (** stripe map pinned while opens are outstanding, so every US of a
+          shared file uses the same page→SS assignment; [[]] = unstriped *)
 }
 
 type css_fg = { css_files : (int, css_file) Hashtbl.t }
@@ -87,6 +97,10 @@ type ofile = {
   mutable o_inflight : (int * int) list;
       (** scheduled readahead ranges (first, count), deduping overlaps *)
   mutable o_wb : wb_run option; (** pending write-behind run *)
+  mutable o_stripes : Site.t list;
+      (** stripe map for this open: page p is served by
+          [stripes.(p mod width)]; [[]] = unstriped. When striped, [o_ss]
+          is the primary (first) stripe site. *)
   mutable o_closed : bool;
   mutable o_lease : Openlease.entry option;
       (** the lease grant this open rides: its close is deferred while
@@ -99,7 +113,7 @@ type ss_open = {
   s_gf : Gfile.t;
   s_slot : int; (** incore-inode slot; shipped to USs as their read guess *)
   mutable s_shadow : Storage.Shadow.t option;
-  mutable s_uss : (Site.t * int) list; (** using sites currently served *)
+  mutable s_uss : int Site.Map.t; (** using sites currently served, with counts *)
   mutable s_others : Site.t list; (** other storing sites, for commit notifications *)
 }
 
@@ -191,6 +205,9 @@ type t = {
   mutable extra_handler : Site.t -> Proto.req -> Proto.resp option;
       (** reconfiguration handlers, installed by the recovery layer *)
   mutable site_table : Site.t list; (** believed-up sites: this partition *)
+  mutable site_set : Site.Set.t;
+      (** same membership as [site_table] for O(log n) tests; update both
+          through {!set_sites} only *)
   mutable alive : bool;
   mutable recon_stage : int; (** reconfiguration stage, for §5.7 ordering *)
 }
@@ -223,6 +240,25 @@ val local_pack : t -> int -> Storage.Pack.t option
 val local_pack_exn : t -> int -> Storage.Pack.t
 
 val in_partition : t -> Site.t -> bool
+
+val set_sites : t -> Site.t list -> unit
+(** Replace the partition membership, keeping the ordered list view and
+    the set view consistent (sorts and dedups the input). *)
+
+val place_css : fg:int -> Site.t list -> Site.t option
+(** Deterministic CSS placement: every site computes the same coordinator
+    for [fg] from the sorted pack-holder candidates alone. Filegroup 0
+    maps to the lowest candidate (the classic layout); distinct
+    filegroups spread across their holders. [None] iff no candidates. *)
+
+val stripe_map : width:int -> ino:int -> Site.t list -> Site.t list
+(** Deterministic stripe map: up to [width] distinct latest-copy holders,
+    rotated by [ino]. [[]] (unstriped) when [width <= 1] or fewer than
+    two candidates. *)
+
+val stripe_owner : Site.t list -> int -> Site.t
+(** The stripe site serving logical page [lpage]. Raises on an unstriped
+    ([[]]) map. *)
 
 val vv_key : Vvec.t -> string
 (** The version vector as a cache-key component: a new committed version

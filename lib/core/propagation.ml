@@ -133,7 +133,9 @@ let pull_from k pack gf ~source ~modified =
             | Proto.R_err e -> err e "propagation read failed"
             | _ -> err Proto.Eio "unexpected response to propagation read"
           else
-            match rpc k source (Proto.Read_pages { gf; first; count; guess = 0 }) with
+            match
+              rpc k source (Proto.Read_pages { gf; first; count; guess = 0; stride = 1 })
+            with
             | Proto.R_pages { pages; _ } ->
               Sim.Stats.incr (stats k) "prop.bulk";
               Sim.Stats.add (stats k) "prop.bulk.pages" (List.length pages);

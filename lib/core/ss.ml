@@ -19,10 +19,10 @@ let get_open = ss_get_open
 let add_us = ss_add_us
 
 let drop_us s us =
-  match List.assoc_opt us s.s_uss with
+  match Site.Map.find_opt us s.s_uss with
   | None -> ()
-  | Some 1 -> s.s_uss <- List.remove_assoc us s.s_uss
-  | Some n -> s.s_uss <- (us, n - 1) :: List.remove_assoc us s.s_uss
+  | Some 1 -> s.s_uss <- Site.Map.remove us s.s_uss
+  | Some n -> s.s_uss <- Site.Map.add us (n - 1) s.s_uss
 
 (* CSS asks: will you act as storage site for this open? Refuse when we do
    not store the file at (at least) the requested version (section 2.3.3). *)
@@ -96,15 +96,17 @@ let handle_read_page ?(guess = 0) k gf lpage =
       let eof = (lpage + 1) * Page.size >= size in
       Proto.R_page { data = Page.sub page 0 len; eof })
 
-(* Serve up to [count] consecutive pages in one response — the bulk-read
-   half of the transfer layer. Disk and cache accounting is identical to
-   [count] single reads; only the message count changes. The reply is
-   trimmed at end of file, with [eof] telling the US the stream is done. *)
-let handle_read_pages ?(guess = 0) k gf ~first ~count =
+(* Serve up to [count] pages, every [stride]-th from [first], in one
+   response — the bulk-read half of the transfer layer. Disk and cache
+   accounting is identical to [count] single reads; only the message count
+   changes. A stride above 1 is a striped US asking this site for just its
+   own stripe's pages. The reply is trimmed at end of file, with [eof]
+   telling the US this site's share of the stream is done. *)
+let handle_read_pages ?(guess = 0) ?(stride = 1) k gf ~first ~count =
   (match Hashtbl.find_opt k.ss_slots guess with
   | Some g when Gfile.equal g gf -> Sim.Stats.incr (stats k) "ss.guess.hit"
   | Some _ | None -> Sim.Stats.incr (stats k) "ss.guess.miss");
-  if first < 0 || count <= 0 then Proto.R_err Proto.Einval
+  if first < 0 || count <= 0 || stride <= 0 then Proto.R_err Proto.Einval
   else
     match local_pack k gf.Gfile.fg with
     | None -> Proto.R_err Proto.Eio
@@ -123,15 +125,17 @@ let handle_read_pages ?(guess = 0) k gf ~first ~count =
             ((fun lpage -> cached_pack_page k pack gf inode lpage), inode.Inode.size)
         in
         let npages = (size + Page.size - 1) / Page.size in
-        let last = min (first + count) npages in
         let pages = ref [] in
-        for lpage = last - 1 downto first do
-          let page = read_page lpage in
-          let remaining = size - (lpage * Page.size) in
-          let len = max 0 (min Page.size remaining) in
-          pages := Page.sub page 0 len :: !pages
+        for i = count - 1 downto 0 do
+          let lpage = first + (i * stride) in
+          if lpage < npages then begin
+            let page = read_page lpage in
+            let remaining = size - (lpage * Page.size) in
+            let len = max 0 (min Page.size remaining) in
+            pages := Page.sub page 0 len :: !pages
+          end
         done;
-        Proto.R_pages { pages = !pages; eof = last >= npages })
+        Proto.R_pages { pages = !pages; eof = first + (count * stride) >= npages })
 
 let ensure_session k pack gf =
   let s = get_open k gf in
@@ -148,8 +152,8 @@ let invalidate_others k gf ~writer lpage =
   match find_open k gf with
   | None -> ()
   | Some s ->
-    List.iter
-      (fun (us, _) ->
+    Site.Map.iter
+      (fun us _ ->
         if (not (Site.equal us writer)) && not (Site.equal us k.site) then
           notify k us (Proto.Page_invalidate { gf; lpage }))
       s.s_uss
@@ -218,17 +222,96 @@ let handle_truncate k gf ~size =
     Shadow.truncate session size;
     Proto.R_ok
 
+(* Peer stripe site's half of the striped commit: surrender the session's
+   modified pages and size to the committing primary, then abort the local
+   session — the primary folds them in and commits the one complete copy. *)
+let handle_stripe_collect k gf =
+  match find_open k gf with
+  | Some ({ s_shadow = Some session; _ } as s) ->
+    let pages =
+      List.map
+        (fun lpage ->
+          charge_disk_read k;
+          (lpage, Page.to_string (Shadow.read_page session lpage)))
+        (Shadow.modified_lpages session)
+    in
+    let size = (Shadow.incore session).Inode.size in
+    Shadow.abort session;
+    s.s_shadow <- None;
+    Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
+    record k ~tag:"ss.stripe.collect"
+      (Format.asprintf "%a -> %d pages size=%d" Gfile.pp gf (List.length pages) size);
+    Proto.R_stripe { pages; size }
+  | Some { s_shadow = None; _ } | None ->
+    (* This stripe saw no modifications: nothing to fold in. The size is
+       -1 so the primary ignores it in the size reconciliation. *)
+    Proto.R_stripe { pages = []; size = -1 }
+
+(* Committing primary's side: pull every peer stripe's modified pages into
+   the local shadow session so the copy committed here is complete, then
+   reconcile the size (all sessions saw the same truncates, so the true
+   final size is the maximum of the per-stripe session sizes).
+
+   [stripes] is the complete map, this site included: page p is owned by
+   stripes.(p mod width). Only pages a peer owns are folded in — the US
+   routes every write to the page's owner, so anything else in a peer's
+   session is a truncate artifact (a dropped page reading as zeroes), and
+   folding it would clobber the primary's fresh data. The size is taken
+   from the sessions as the US left them, before whole-page folds round
+   the primary's session up to a page boundary. *)
+let collect_stripes k gf session stripes =
+  let width = List.length stripes in
+  let collected =
+    List.mapi
+      (fun j peer ->
+        if Site.equal peer k.site then (j, [], -1)
+        else
+          match rpc k peer (Proto.Stripe_collect { gf }) with
+          | Proto.R_stripe { pages; size } -> (j, pages, size)
+          | Proto.R_err e -> err e "stripe collect refused"
+          | _ -> err Proto.Eio "unexpected stripe-collect response")
+      stripes
+  in
+  let final =
+    List.fold_left
+      (fun acc (_, _, size) -> max acc size)
+      (Shadow.incore session).Inode.size collected
+  in
+  let npages = (final + Page.size - 1) / Page.size in
+  List.iter
+    (fun (j, pages, _) ->
+      List.iter
+        (fun (lpage, data) ->
+          if lpage mod width = j && lpage < npages then begin
+            charge_disk_write k;
+            Shadow.write_page session ~lpage (Page.of_string data)
+          end)
+        pages)
+    collected;
+  Shadow.set_size session final
+
 (* The atomic commit (section 2.3.6): move the incore inode to the disk
    inode, then notify the CSS and all other storage sites so they bring
-   their copies up to date by pulling. *)
-let handle_commit ?force_vv k gf ~abort ~delete =
+   their copies up to date by pulling. [stripes] names the peer stripe
+   sites of a striped session; their pages are collected first, so the
+   commit itself stays the classic single-site version bump. *)
+let handle_commit ?force_vv ?(stripes = []) k gf ~abort ~delete =
   match local_pack k gf.Gfile.fg with
   | None -> Proto.R_err Proto.Eio
   | Some pack -> (
     let s = get_open k gf in
+    (* An abort of a striped session must also abort the peers' sessions;
+       collection discards their pages. *)
+    if abort && stripes <> [] then
+      List.iter
+        (fun peer ->
+          if not (Site.equal peer k.site) then
+            match rpc_result k peer (Proto.Stripe_collect { gf }) with
+            | Ok _ | Stdlib.Error _ -> ())
+        stripes;
     match s.s_shadow with
     | None when abort -> Proto.R_committed { vv = Vvec.zero }
-    | None when not delete ->
+    | None when not delete && stripes = [] ->
       (* Nothing was modified: no new version is created. *)
       let vv =
         match Pack.find_inode pack gf.Gfile.ino with
@@ -255,6 +338,7 @@ let handle_commit ?force_vv k gf ~abort ~delete =
         | Some session -> session
         | None -> ensure_session k pack gf
       in
+      if stripes <> [] then collect_stripes k gf session stripes;
       let modified = Shadow.modified_lpages session in
       if delete then begin
         Shadow.set_contents session "";
@@ -305,13 +389,13 @@ let handle_us_close k ~src gf ~mode =
   | Some s ->
     drop_us s src;
     (match s.s_shadow with
-    | Some session when s.s_uss = [] ->
+    | Some session when Site.Map.is_empty s.s_uss ->
       (* The last user vanished without committing: abort the session so
          the previous version stays coherent. *)
       Shadow.abort session;
       s.s_shadow <- None
     | Some _ | None -> ());
-    if s.s_uss = [] then begin
+    if Site.Map.is_empty s.s_uss then begin
       Hashtbl.remove k.ss_opens gf;
       Hashtbl.remove k.ss_slots s.s_slot
     end);

@@ -28,11 +28,18 @@ val handle_read_page : ?guess:int -> Ktypes.t -> Catalog.Gfile.t -> int -> Proto
     counted in the statistics. *)
 
 val handle_read_pages :
-  ?guess:int -> Ktypes.t -> Catalog.Gfile.t -> first:int -> count:int -> Proto.resp
-(** Serve up to [count] consecutive pages from [first] in one response
-    (the bulk-read half of the transfer layer). Same per-page disk and
-    cache accounting as single reads; the reply is trimmed at end of
-    file. *)
+  ?guess:int ->
+  ?stride:int ->
+  Ktypes.t ->
+  Catalog.Gfile.t ->
+  first:int ->
+  count:int ->
+  Proto.resp
+(** Serve up to [count] pages, every [stride]-th from [first], in one
+    response (the bulk-read half of the transfer layer). Same per-page
+    disk and cache accounting as single reads; the reply is trimmed at end
+    of file. A stride above 1 is a striped US asking for just this site's
+    own stripe's pages. *)
 
 val handle_write_page :
   Ktypes.t ->
@@ -63,6 +70,7 @@ val handle_truncate : Ktypes.t -> Catalog.Gfile.t -> size:int -> Proto.resp
 
 val handle_commit :
   ?force_vv:Vv.Version_vector.t ->
+  ?stripes:Net.Site.t list ->
   Ktypes.t ->
   Catalog.Gfile.t ->
   abort:bool ->
@@ -71,7 +79,17 @@ val handle_commit :
 (** The atomic commit (§2.3.6): switch the incore inode in, bump the
     version vector (or install [force_vv], recovery's merged vector), and
     send commit notifications. [abort] discards instead; [delete] marks
-    the inode deleted first (§2.3.7). *)
+    the inode deleted first (§2.3.7). A non-empty [stripes] names the
+    stripe sites of a striped modify session: this site (the primary)
+    first collects each peer's session pages with [Stripe_collect] and
+    folds them into its own shadow copy, so the classic commit then
+    installs the one complete version. *)
+
+val handle_stripe_collect : Ktypes.t -> Catalog.Gfile.t -> Proto.resp
+(** Peer half of the striped commit: surrender the local session's
+    modified pages and size to the committing primary and abort the
+    session. Answers an empty page set (size -1) when no session exists,
+    which an aborting primary treats as already clean. *)
 
 val handle_us_close :
   Ktypes.t -> src:Net.Site.t -> Catalog.Gfile.t -> mode:Proto.open_mode -> Proto.resp

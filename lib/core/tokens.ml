@@ -148,7 +148,7 @@ let acquire k fd =
    local process references them, so no close will ever arrive; without
    the sweep they leak in [shared_fds] forever. *)
 let handle_site_failure k dead =
-  let referenced = Hashtbl.create 16 in
+  let referenced = Hashtbl.create (max 16 k.config.table_size_hint) in
   Hashtbl.iter
     (fun _ p ->
       match p.p_status with

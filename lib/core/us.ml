@@ -52,6 +52,9 @@ let rec open_gf ?(shared = false) k gf mode =
         o_mode = mode;
         o_ss = e.Openlease.le_ss;
         o_info = e.Openlease.le_info;
+        (* A striped grant rides too: the peers serve their stripes
+           statelessly, so the map stays valid as long as the lease does. *)
+        o_stripes = e.Openlease.le_info.Proto.i_stripes;
         (* Leases only exist while no writer does. *)
         o_nocache = false;
         o_dirty = false;
@@ -82,7 +85,9 @@ and open_gf_cold ~shared k fi gf mode =
         match local_pack k gf.Gfile.fg with
         | Some pack -> (
           match Pack.find_inode pack gf.Gfile.ino with
-          | Some inode -> Proto.info_of_inode inode
+          | Some inode ->
+            (* The stripe map is CSS state, not disk state: keep it. *)
+            { (Proto.info_of_inode inode) with Proto.i_stripes = info.Proto.i_stripes }
           | None -> info)
         | None -> info
       end
@@ -121,6 +126,7 @@ and open_gf_cold ~shared k fi gf mode =
         o_mode = mode;
         o_ss = ss;
         o_info = info;
+        o_stripes = info.Proto.i_stripes;
         o_nocache = nocache;
         o_dirty = false;
         (* -1 so a scan starting at page 0 counts as sequential and primes
@@ -144,8 +150,37 @@ and open_gf_cold ~shared k fi gf mode =
 
 let cache_key o lpage = (o.o_gf, lpage, vv_key o.o_info.Proto.i_vv)
 
+(* ---- striped access (section: scale-out storage) ----
+
+   A striped open carries a stripe map from the CSS: logical page [p] is
+   served by [o_stripes.(p mod width)]. An empty map is the classic
+   single-SS protocol, untouched. *)
+
+let striped o = o.o_stripes <> []
+
+let page_site o lpage =
+  match o.o_stripes with [] -> o.o_ss | stripes -> stripe_owner stripes lpage
+
+(* A stripe peer stopped answering: drop back to the classic protocol
+   against the primary, which holds a complete latest copy. Modify opens
+   cannot degrade (pages already written to peer sessions would be lost);
+   they fail like a classic open whose SS died. *)
+let stripe_degrade k o =
+  record k ~tag:"us.stripe.degrade" (Gfile.to_string o.o_gf);
+  Sim.Stats.incr (stats k) "us.stripe.degrade";
+  o.o_stripes <- []
+
 let fetch_page k o lpage =
-  match rpc k o.o_ss (Proto.Read_page { gf = o.o_gf; lpage; guess = o.o_guess }) with
+  let site = page_site o lpage in
+  let guess = if Site.equal site o.o_ss then o.o_guess else 0 in
+  let resp =
+    if Site.equal site k.site then begin
+      charge k (latency k).Net.Latency.local_call;
+      Ss.handle_read_page ~guess k o.o_gf lpage
+    end
+    else rpc k site (Proto.Read_page { gf = o.o_gf; lpage; guess })
+  in
+  match resp with
   | Proto.R_page { data; eof } -> (data, eof)
   | Proto.R_err e -> err e "read %a page %d failed" Gfile.pp o.o_gf lpage
   | _ -> err Proto.Eio "unexpected read response"
@@ -235,7 +270,8 @@ let fetch_pages k o ~first ~count =
   end
   else
     match
-      rpc k o.o_ss (Proto.Read_pages { gf = o.o_gf; first; count; guess = o.o_guess })
+      rpc k o.o_ss
+        (Proto.Read_pages { gf = o.o_gf; first; count; guess = o.o_guess; stride = 1 })
     with
     | Proto.R_pages { pages; eof } ->
       Sim.Stats.incr (stats k) "us.bulk.read";
@@ -318,11 +354,124 @@ let read_page_bulk k o lpage ~sequential =
     if sequential && not eof then schedule_window k o ~lpage;
     (data, eof)
 
+(* Striped streaming read: the miss window fans out as one strided
+   [Read_pages] per stripe site, issued in parallel, each carrying up to a
+   full window of that site's own pages. The aggregate in-flight window is
+   therefore [width * bulk_window] pages per round trip, which is where
+   striping's read throughput comes from. *)
+(* Fetch the run [first, first+count) of pages into the US cache, split by
+   page owner: each stripe site gets the arithmetic subsequence with its
+   own residue mod [w], as one strided [Read_pages], and the fans travel
+   in parallel — the elapsed cost is the slowest stripe's share, not the
+   sum. *)
+let fetch_striped_range k o ~first ~count =
+  let w = List.length o.o_stripes in
+  let groups =
+    List.init w (fun j ->
+        let f = first + ((j - (first mod w) + w) mod w) in
+        if f >= first + count then None
+        else
+          let cnt = (first + count - f + w - 1) / w in
+          Some (stripe_owner o.o_stripes f, f, cnt))
+    |> List.filter_map Fun.id
+  in
+  let fetch_group (site, f, cnt) =
+    let resp =
+      if Site.equal site k.site then begin
+        charge k (latency k).Net.Latency.local_call;
+        Ss.handle_read_pages ~stride:w k o.o_gf ~first:f ~count:cnt
+      end
+      else
+        rpc k site
+          (Proto.Read_pages { gf = o.o_gf; first = f; count = cnt; guess = 0; stride = w })
+    in
+    match resp with
+    | Proto.R_pages { pages; _ } ->
+      Sim.Stats.incr (stats k) "us.stripe.read";
+      Sim.Stats.add (stats k) "us.stripe.read.pages" (List.length pages);
+      List.iteri
+        (fun i d -> Cache.insert k.us_cache (cache_key o (f + (i * w))) (Page.of_string d))
+        pages
+    | Proto.R_err e -> err e "striped read %a pages %d+%d failed" Gfile.pp o.o_gf f cnt
+    | _ -> err Proto.Eio "unexpected striped read response"
+  in
+  Engine.parallel k.engine (List.map (fun g () -> fetch_group g) groups)
+
+(* The striped analogue of [schedule_window]: keep an aggregate window of
+   [width * bulk_window] pages requested ahead of a sequential reader,
+   fanned over the stripe sites. A readahead failure is silent — the next
+   demand fetch surfaces the error (and the degrade path handles it). *)
+let schedule_window_striped k o ~lpage =
+  let npages = npages_of o in
+  let next = lpage + 1 in
+  if k.config.readahead && o.o_ra_frontier <= next && next < npages then begin
+    let w = List.length o.o_stripes in
+    let first = max next o.o_ra_frontier in
+    let count =
+      run_length k o ~from:first ~limit:(min (o.o_window * w) (npages - first))
+    in
+    if count > 0 then begin
+      o.o_inflight <- (first, count) :: o.o_inflight;
+      o.o_ra_frontier <- first + count;
+      Engine.schedule k.engine ~delay:0.01 (fun () ->
+          o.o_inflight <- List.filter (fun r -> r <> (first, count)) o.o_inflight;
+          if (not o.o_closed) && k.alive && striped o then begin
+            let rec first_missing p =
+              if p >= first + count then None
+              else if Cache.mem k.us_cache (cache_key o p) then first_missing (p + 1)
+              else Some p
+            in
+            match first_missing first with
+            | None -> ()
+            | Some p0 -> (
+              match fetch_striped_range k o ~first:p0 ~count:(first + count - p0) with
+              | () -> Sim.Stats.incr (stats k) "us.readahead"
+              | exception Error _ -> ())
+          end)
+    end
+  end
+
+(* Striped streaming read: misses fan out in parallel over the stripe
+   sites, and a window of [width * bulk_window] pages is kept scheduled
+   ahead of a sequential reader — the width multiplies both the in-flight
+   window and the serving disk arms, which is where striping's read
+   throughput comes from. *)
+let read_page_striped k o lpage ~sequential =
+  if sequential then o.o_window <- min k.config.bulk_window (o.o_window * 2)
+  else begin
+    o.o_window <- 1;
+    o.o_ra_frontier <- lpage + 1
+  end;
+  let size = o.o_info.Proto.i_size in
+  let return_page page =
+    let remaining = size - (lpage * Page.size) in
+    let len = max 0 (min Page.size remaining) in
+    let eof = (lpage + 1) * Page.size >= size in
+    if sequential && not eof then schedule_window_striped k o ~lpage;
+    (Page.sub page 0 len, eof)
+  in
+  match Cache.find k.us_cache (cache_key o lpage) with
+  | Some page ->
+    Sim.Stats.incr (stats k) "cache.us.hit";
+    return_page page
+  | None ->
+    Sim.Stats.incr (stats k) "cache.us.miss";
+    let w = List.length o.o_stripes in
+    let npages = npages_of o in
+    let count =
+      max 1 (run_length k o ~from:lpage ~limit:(min (o.o_window * w) (max 1 (npages - lpage))))
+    in
+    fetch_striped_range k o ~first:lpage ~count;
+    if o.o_ra_frontier < lpage + count then o.o_ra_frontier <- lpage + count;
+    (match Cache.find k.us_cache (cache_key o lpage) with
+    | Some page -> return_page page
+    | None -> ("", true))
+
 (* Read one logical page through the kernel buffers, with sequential
    readahead as in standard Unix (section 2.3.3). With the bulk layer on,
    a remote cacheable open goes through the windowed streaming path
    instead; a window of one keeps the one-page protocol exactly. *)
-let read_page k o lpage =
+let rec read_page k o lpage =
   if o.o_closed then err Proto.Einval "read on closed file";
   (* Read-your-writes: anything buffered for write-behind must reach the
      SS shadow session before a page can be read back. *)
@@ -350,7 +499,19 @@ let read_page k o lpage =
             end)
     end
   in
-  if Site.equal o.o_ss k.site then begin
+  if striped o then begin
+    match
+      if cacheable k o then read_page_striped k o lpage ~sequential
+      else fetch_page k o lpage
+    with
+    | result -> result
+    | exception Error _
+      when o.o_mode <> Proto.Mode_modify && in_partition k o.o_ss ->
+      (* A stripe peer failed but the primary is still up: retry classic. *)
+      stripe_degrade k o;
+      read_page k o lpage
+  end
+  else if Site.equal o.o_ss k.site then begin
     (* Local access: same path cost as conventional Unix. *)
     charge k (latency k).Net.Latency.local_call;
     match Ss.handle_read_page k o.o_gf lpage with
@@ -447,15 +608,16 @@ let write k o ~off data =
   in
   let send_chunk ~lpage ~poff chunk =
     let whole = poff = 0 && String.length chunk = Page.size in
+    let site = page_site o lpage in
     let req =
       Proto.Write_page { gf = o.o_gf; lpage; whole; off = poff; data = chunk }
     in
     let resp =
-      if Site.equal o.o_ss k.site then begin
+      if Site.equal site k.site then begin
         charge k (latency k).Net.Latency.local_call;
         Ss.handle_write_page k ~src:k.site o.o_gf ~lpage ~whole ~off:poff ~data:chunk
       end
-      else rpc k o.o_ss req
+      else rpc k site req
     in
     expect_ok resp
   in
@@ -469,7 +631,10 @@ let write k o ~off data =
       loop (pos + n)
     end
   in
-  if len > 0 then if bulk_enabled k o then write_behind () else loop 0;
+  (* A striped write must route each page to its owner, so the contiguous
+     write-behind run does not apply; pages travel singly as in the
+     unbatched protocol. *)
+  if len > 0 then if bulk_enabled k o && not (striped o) then write_behind () else loop 0;
   o.o_dirty <- true;
   if off + len > o.o_info.Proto.i_size then
     o.o_info <- { o.o_info with Proto.i_size = off + len }
@@ -478,12 +643,18 @@ let truncate k o size =
   if o.o_mode <> Proto.Mode_modify then err Proto.Eaccess "file not open for modification";
   (* Buffered writes precede the truncate in program order. *)
   if o.o_wb <> None then flush_wb k o;
-  let resp =
-    if Site.equal o.o_ss k.site then
-      Ss.handle_truncate k o.o_gf ~size
-    else rpc k o.o_ss (Proto.Truncate_req { gf = o.o_gf; size })
+  let truncate_at site =
+    let resp =
+      if Site.equal site k.site then Ss.handle_truncate k o.o_gf ~size
+      else rpc k site (Proto.Truncate_req { gf = o.o_gf; size })
+    in
+    expect_ok resp
   in
-  expect_ok resp;
+  (* Every stripe session must agree on the size, so commit-time size
+     reconciliation (the max of the session sizes) stays sound. *)
+  (match o.o_stripes with
+  | [] -> truncate_at o.o_ss
+  | stripes -> List.iter truncate_at stripes);
   o.o_dirty <- true;
   if size < o.o_info.Proto.i_size then o.o_info <- { o.o_info with Proto.i_size = size }
 
@@ -498,11 +669,24 @@ let commit_gen k o ~abort ~delete =
      shadow session first. Aborting just drops it. *)
   if abort then o.o_wb <- None else if o.o_wb <> None then flush_wb k o;
   let resp =
-    if Site.equal o.o_ss k.site then
-      Ss.handle_commit k o.o_gf ~abort ~delete
-    else
-      rpc k o.o_ss
-        (Proto.Commit_req { gf = o.o_gf; us = k.site; abort; delete; force_vv = None })
+    match o.o_stripes with
+    | (primary :: _) as stripes when o.o_mode = Proto.Mode_modify ->
+      (* Striped commit goes to the primary, which collects each peer's
+         session pages, folds them into one complete shadow copy, and
+         runs the classic atomic commit on it. *)
+      if Site.equal primary k.site then
+        Ss.handle_commit ~stripes k o.o_gf ~abort ~delete
+      else
+        rpc k primary
+          (Proto.Commit_req
+             { gf = o.o_gf; us = k.site; abort; delete; force_vv = None; stripes })
+    | _ ->
+      if Site.equal o.o_ss k.site then
+        Ss.handle_commit k o.o_gf ~abort ~delete
+      else
+        rpc k o.o_ss
+          (Proto.Commit_req
+             { gf = o.o_gf; us = k.site; abort; delete; force_vv = None; stripes = [] })
   in
   match resp with
   | Proto.R_committed { vv } ->
@@ -554,17 +738,26 @@ let close k o =
       if not e.Openlease.le_broken then Sim.Stats.incr (stats k) "open.lease.defer";
       lease_drop_rider k e
     | None ->
-      let resp =
-        if Site.equal o.o_ss k.site then
-          (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
-           with Error _ -> Proto.R_ok)
-        else
-          match rpc_result k o.o_ss (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
-          | Ok resp -> resp
-          | Stdlib.Error _ -> Proto.R_ok
-          (* A close that cannot reach the SS is handled by cleanup. *)
+      let close_at site =
+        let resp =
+          if Site.equal site k.site then
+            (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
+             with Error _ -> Proto.R_ok)
+          else
+            match rpc_result k site (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
+            | Ok resp -> resp
+            | Stdlib.Error _ -> Proto.R_ok
+            (* A close that cannot reach the SS is handled by cleanup. *)
+        in
+        match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ()
       in
-      (match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ()));
+      (match o.o_stripes with
+      | (_ :: _) as stripes when o.o_mode = Proto.Mode_modify ->
+        (* Every stripe site registered this open at the poll; each gets
+           its [Us_close], and the CSS treats the resulting [Ss_close]
+           volley idempotently. *)
+        List.iter close_at stripes
+      | _ -> close_at o.o_ss));
     (* Without retention the buffered pages die with the open; with it they
        stay, version-keyed, so a re-open of the same version hits warm. *)
     if not k.config.cache_retention then

@@ -69,6 +69,11 @@ type inode_info = {
   i_mtime : float;
   i_vv : Vvec.t;
   i_deleted : bool;
+  i_stripes : Net.Site.t list;
+  (* stripe map assigned by the CSS at open time: logical page p is
+     served by stripes.(p mod width). [] = unstriped (classic single-SS
+     service) and costs zero wire bytes, keeping stripe_width = 1
+     byte-identical to the classic protocol. *)
 }
 
 let info_of_inode (i : Storage.Inode.t) =
@@ -81,6 +86,7 @@ let info_of_inode (i : Storage.Inode.t) =
     i_mtime = i.mtime;
     i_vv = i.vv;
     i_deleted = i.deleted;
+    i_stripes = [];
   }
 
 type token_key =
@@ -141,9 +147,11 @@ type req =
   (* --- data transfer --- *)
   | Read_page of { gf : Catalog.Gfile.t; lpage : int; guess : int }
     (* US -> SS; [guess] is the hint for locating the incore inode *)
-  | Read_pages of { gf : Catalog.Gfile.t; first : int; count : int; guess : int }
-    (* US -> SS: up to [count] consecutive pages starting at [first] in one
-       round trip — the bulk-transfer read protocol. One header, one RTT. *)
+  | Read_pages of { gf : Catalog.Gfile.t; first : int; count : int; guess : int; stride : int }
+    (* US -> SS: up to [count] pages starting at [first], every [stride]-th
+       logical page, in one round trip — the bulk-transfer read protocol.
+       [stride] = 1 is the classic consecutive window; a striped US sends
+       stride = width to each stripe SS so each serves only its own pages. *)
   | Write_page of { gf : Catalog.Gfile.t; lpage : int; whole : bool; off : int; data : string }
     (* US -> SS: one logical page of modification (whole page or patch) *)
   | Write_pages of { gf : Catalog.Gfile.t; first : int; off : int; data : string }
@@ -162,8 +170,17 @@ type req =
         (* recovery only: install this exact version vector (the pointwise
            maximum of the merged copies, bumped at the merge site) instead
            of bumping the local one *)
+      stripes : Net.Site.t list;
+        (* striped session: the peer stripe sites the primary SS must
+           collect modified pages from before committing, so every
+           committed copy is complete under one version bump. [] (classic)
+           costs zero wire bytes. *)
     } (* US -> SS: commit (or abort) the open modification session; [delete]
          marks the inode deleted before committing (section 2.3.7) *)
+  | Stripe_collect of { gf : Catalog.Gfile.t }
+    (* primary SS -> peer stripe SS at commit: hand over your session's
+       modified pages and size, then abort your session; the primary
+       folds them into its shadow session and commits classically *)
   (* --- close protocol (3 messages; see the race note in section 2.3.3) --- *)
   | Us_close of { gf : Catalog.Gfile.t; mode : open_mode }
   | Ss_close of { gf : Catalog.Gfile.t; ss : Net.Site.t; us : Net.Site.t; mode : open_mode }
@@ -267,6 +284,9 @@ type resp =
        the file ends mid-window. [eof] marks that the last page returned
        contains end of file (or that [first] was past it). *)
   | R_committed of { vv : Vvec.t }
+  | R_stripe of { pages : (int * string) list; size : int }
+    (* a peer stripe SS's modified full pages (lpage, data) and its
+       session's file size, surrendered to the committing primary *)
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }
   | R_lookup of { gf : Catalog.Gfile.t; consumed : int; trail : lookup_step list }
@@ -298,7 +318,8 @@ let vv_bytes v = 8 * max 1 (List.length (Vvec.to_list v))
 
 let site_list_bytes l = 4 * List.length l
 
-let info_bytes i = 40 + String.length i.i_owner + vv_bytes i.i_vv
+let info_bytes i =
+  40 + String.length i.i_owner + vv_bytes i.i_vv + site_list_bytes i.i_stripes
 
 let env_bytes e =
   16 + String.length e.e_uid + gfile_bytes
@@ -316,13 +337,16 @@ let req_bytes = function
   | Storage_req { vv; others; _ } ->
     header + gfile_bytes + vv_bytes vv + 5 + site_list_bytes others
   | Read_page _ -> header + gfile_bytes + 8
-  | Read_pages _ -> header + gfile_bytes + 12
+  | Read_pages { stride; _ } ->
+    header + gfile_bytes + 12 + (if stride > 1 then 2 else 0)
   | Write_page { data; _ } -> header + gfile_bytes + 9 + String.length data
   | Write_pages { data; _ } -> header + gfile_bytes + 12 + String.length data
   | Truncate_req _ -> header + gfile_bytes + 4
-  | Commit_req { force_vv; _ } ->
+  | Commit_req { force_vv; stripes; _ } ->
     header + gfile_bytes + 5
     + (match force_vv with Some v -> vv_bytes v | None -> 0)
+    + site_list_bytes stripes
+  | Stripe_collect _ -> header + gfile_bytes
   | Us_close _ -> header + gfile_bytes + 1
   | Ss_close _ -> header + gfile_bytes + 9
   | Commit_notify { vv; modified; replicas; _ } ->
@@ -379,6 +403,8 @@ let resp_bytes = function
        win fewer headers and RTTs, not free bytes. *)
     header + 1 + List.fold_left (fun a p -> a + 2 + String.length p) 0 pages
   | R_committed { vv } -> header + vv_bytes vv
+  | R_stripe { pages; _ } ->
+    header + 8 + List.fold_left (fun a (_, p) -> a + 6 + String.length p) 0 pages
   | R_created _ -> header + 4
   | R_stat { info; _ } ->
     header + 1 + (match info with Some i -> info_bytes i | None -> 0)
@@ -406,6 +432,7 @@ let req_tag = function
   | Write_page _ | Write_pages _ -> "write"
   | Truncate_req _ -> "truncate"
   | Commit_req _ -> "commit"
+  | Stripe_collect _ -> "stripe.collect"
   | Us_close _ -> "close.us"
   | Ss_close _ -> "close.ss"
   | Commit_notify _ -> "notify"
@@ -449,7 +476,7 @@ let req_idempotent = function
   | Part_poll _ | Part_announce _ | Merge_poll _ | Merge_announce _
   | Status_check _ ->
     true
-  | Open_req _ | Storage_req _ | Commit_req _ | Us_close _ | Ss_close _
+  | Open_req _ | Storage_req _ | Commit_req _ | Stripe_collect _ | Us_close _ | Ss_close _
   | Create_req _ | Link_count _ | Set_attr _ | Fork_req _ | Exec_req _
   | Run_req _ | Signal_req _ | Exit_notify _ | Pipe_write _ | Pipe_read _ ->
     false

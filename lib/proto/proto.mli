@@ -57,6 +57,10 @@ type inode_info = {
   i_mtime : float;
   i_vv : Vv.Version_vector.t;
   i_deleted : bool;
+  i_stripes : Net.Site.t list;
+      (** stripe map assigned by the CSS at open time: logical page p is
+          served by [stripes.(p mod width)]. [[]] = unstriped, and costs
+          zero wire bytes (classic ablation stays byte-identical). *)
 }
 
 val info_of_inode : Storage.Inode.t -> inode_info
@@ -124,10 +128,18 @@ type req =
            [others] lets the SS send its commit notifications directly. *)
   | Read_page of { gf : Catalog.Gfile.t; lpage : int; guess : int }
       (** US → SS: one page; [guess] locates the incore inode (§2.3.3). *)
-  | Read_pages of { gf : Catalog.Gfile.t; first : int; count : int; guess : int }
-      (** US → SS: up to [count] consecutive pages from [first] in one
-          round trip — the bulk-transfer read used by windowed streaming
-          reads and batched propagation pulls. *)
+  | Read_pages of {
+      gf : Catalog.Gfile.t;
+      first : int;
+      count : int;
+      guess : int;
+      stride : int;
+    }  (** US → SS: up to [count] pages, every [stride]-th logical page
+           from [first], in one round trip — the bulk-transfer read used
+           by windowed streaming reads and batched propagation pulls.
+           [stride] = 1 is the classic consecutive window; a striped US
+           sends [stride] = width so each stripe SS serves only its own
+           pages. *)
   | Write_page of {
       gf : Catalog.Gfile.t;
       lpage : int;
@@ -147,9 +159,16 @@ type req =
       abort : bool;
       delete : bool;
       force_vv : Vv.Version_vector.t option;
+      stripes : Net.Site.t list;
     }  (** US → SS: commit/abort the open modification; [delete] marks
            the inode deleted (§2.3.7); [force_vv] installs recovery's
-           merged vector. *)
+           merged vector; [stripes] names the peer stripe sites the
+           primary must collect modified pages from first ([[]] =
+           classic, zero wire bytes). *)
+  | Stripe_collect of { gf : Catalog.Gfile.t }
+      (** primary SS → peer stripe SS at commit: surrender your session's
+          modified pages and size, then abort the session; the primary
+          folds them in and commits classically under one version bump. *)
   | Us_close of { gf : Catalog.Gfile.t; mode : open_mode }
   | Ss_close of {
       gf : Catalog.Gfile.t;
@@ -266,6 +285,9 @@ type resp =
           the file ends mid-window, [eof] when the batch reaches end of
           file (or started past it) *)
   | R_committed of { vv : Vv.Version_vector.t }
+  | R_stripe of { pages : (int * string) list; size : int }
+      (** a peer stripe SS's modified full pages [(lpage, data)] and its
+          session's file size, answering a [Stripe_collect] *)
   | R_created of { ino : int }
   | R_stat of { info : inode_info option; stored_here : bool }
   | R_lookup of { gf : Catalog.Gfile.t; consumed : int; trail : lookup_step list }

@@ -76,7 +76,7 @@ let rebuild_css k fg ~members =
     members
 
 let handle_announce k ~members ~css_map =
-  k.site_table <- List.sort_uniq Site.compare members;
+  set_sites k members;
   (* Directories may have changed arbitrarily in the other partition, and
      deletions there produced no notification here: start the name cache
      cold rather than audit it. Open leases likewise: files may have
@@ -168,7 +168,8 @@ let run_initiator ?(policy = default_policy) ?(gateways = []) k ~all_sites =
     k.site :: List.map (fun (s, _, _) -> s) !respondents
     |> List.sort_uniq Site.compare
   in
-  (* Select the CSS for every filegroup: the lowest member holding a pack. *)
+  (* Select the CSS for every filegroup by the replicated placement
+     function over the pack-holding members, spreading the roles. *)
   let local_fgs =
     Hashtbl.fold (fun fg _ acc -> fg :: acc) k.packs [] |> List.sort Int.compare
   in
@@ -187,9 +188,9 @@ let run_initiator ?(policy = default_policy) ?(gateways = []) k ~all_sites =
           Option.value (Hashtbl.find_opt holders fg) ~default:[]
           |> List.filter (fun s -> List.mem s members)
         in
-        match List.sort Site.compare candidates with
-        | s :: _ -> Some (fg, s)
-        | [] ->
+        match place_css ~fg candidates with
+        | Some s -> Some (fg, s)
+        | None ->
           (* No member of the new partition holds a pack: the filegroup is
              unavailable here. Electing a packless synchronization site
              would only manufacture ghost state; leave the filegroup out

@@ -27,17 +27,19 @@ type report = {
 }
 
 (* After the membership is agreed, each partition selects a new CSS for
-   every filegroup it supports: the lowest member holding a physical
-   container. The chosen site reconstructs the lock table and version
-   bookkeeping from the remaining members (section 5.6). *)
+   every filegroup it supports, by the replicated placement function over
+   the members holding a physical container — so the synchronization load
+   of many filegroups spreads over the partition instead of piling onto
+   its lowest site. The chosen site reconstructs the lock table and
+   version bookkeeping from the remaining members (section 5.6). *)
 let reelect_css k members =
   List.iter
     (fun fi ->
       let candidates = List.filter (fun s -> List.mem s members) fi.pack_sites in
       let new_css =
-        match candidates with
-        | s :: _ -> s
-        | [] -> ( match members with s :: _ -> s | [] -> k.site)
+        match place_css ~fg:fi.fg candidates with
+        | Some s -> s
+        | None -> ( match members with s :: _ -> s | [] -> k.site)
       in
       if not (Site.equal fi.css_site new_css) then begin
         let old = fi.css_site in
@@ -56,7 +58,7 @@ let reelect_css k members =
 let apply_membership k members =
   let old = k.site_table in
   let departed = List.filter (fun s -> not (List.mem s members)) old in
-  k.site_table <- List.sort_uniq Site.compare members;
+  set_sites k members;
   (* No lease survives a partition event: the CSS that granted it may no
      longer be reachable (or no longer the CSS), so its break callbacks
      can no longer be trusted to arrive — the analogue of the §5.6

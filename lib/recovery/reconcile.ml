@@ -114,7 +114,7 @@ let write_version k ~target gf ~content ~vv ~others =
     match
       rpc k target
         (Proto.Commit_req
-           { gf; us = k.site; abort = false; delete = false; force_vv = Some vv })
+           { gf; us = k.site; abort = false; delete = false; force_vv = Some vv; stripes = [] })
     with
     | Proto.R_committed _ ->
       List.iter

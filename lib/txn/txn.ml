@@ -38,6 +38,30 @@ let registry_for site =
     Hashtbl.add registry site r;
     r
 
+(* Index of top-level transactions by (local site, serving site touched by
+   some lock in the transaction's subtree). Cleanup for a failed site then
+   examines only the transactions that ever dealt with it, instead of
+   rescanning every lock of every active transaction per dead site.
+   Entries are an over-approximation (a released lock does not un-index);
+   the failure handler re-verifies candidates against their live locks and
+   prunes the bucket. *)
+let by_touched : (Site.t * Site.t, t list ref) Hashtbl.t = Hashtbl.create 32
+
+let rec top_of t = match t.t_parent with None -> t | Some p -> top_of p
+
+let note_touched local t site =
+  let tp = top_of t in
+  let key = (local, site) in
+  let r =
+    match Hashtbl.find_opt by_touched key with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add by_touched key r;
+      r
+  in
+  if not (List.memq tp !r) then r := tp :: !r
+
 let id t = t.t_id
 
 let status t = t.t_status
@@ -105,7 +129,9 @@ let take_lock t path =
     let k = t.t_kernel in
     let gf = Kernel.resolve k t.t_proc path in
     match Us.open_gf k gf Proto.Mode_modify with
-    | o -> t.t_locks <- { l_path = path; l_ofile = o } :: t.t_locks
+    | o ->
+      t.t_locks <- { l_path = path; l_ofile = o } :: t.t_locks;
+      List.iter (note_touched (Kernel.site k) t) (o.K.o_ss :: o.K.o_stripes)
     | exception K.Error (e, _) ->
       raise (Txn_error (Printf.sprintf "cannot lock %s: %s" path (Proto.errno_to_string e)))
   end
@@ -195,18 +221,27 @@ let commit t =
 
 let rec touched_sites t =
   (* Closed handles still count: cleanup may have closed them just before
-     asking which transactions the failure dooms. *)
-  let own = List.map (fun l -> l.l_ofile.K.o_ss) t.t_locks in
+     asking which transactions the failure dooms. A striped lock touches
+     every stripe site, not only the primary. *)
+  let own =
+    List.concat_map (fun l -> l.l_ofile.K.o_ss :: l.l_ofile.K.o_stripes) t.t_locks
+  in
   let kids = List.concat_map touched_sites t.t_children in
   List.sort_uniq Site.compare (own @ kids)
 
 let handle_site_failure k dead =
-  let r = registry_for (Kernel.site k) in
-  let doomed =
-    List.filter (fun t -> t.t_status = Active && List.mem dead (touched_sites t)) !r
-  in
-  List.iter abort doomed;
-  List.length doomed
+  match Hashtbl.find_opt by_touched (Kernel.site k, dead) with
+  | None -> 0
+  | Some r ->
+    (* Only the indexed candidates are examined; the exact predicate still
+       decides (a candidate may have released the relevant lock since). *)
+    let doomed =
+      List.filter (fun t -> t.t_status = Active && List.mem dead (touched_sites t)) !r
+    in
+    List.iter abort doomed;
+    r := List.filter (fun t -> t.t_status = Active) !r;
+    if !r = [] then Hashtbl.remove by_touched (Kernel.site k, dead);
+    List.length doomed
 
 let active_count k =
   let r = registry_for (Kernel.site k) in

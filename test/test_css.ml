@@ -71,10 +71,10 @@ let test_readers_counted_per_site () =
   ignore (Css.handle_open k0 ~src:2 gf Proto.Mode_read ~shared:false None);
   ignore (Css.handle_open k0 ~src:2 gf Proto.Mode_read ~shared:false None);
   ignore (Css.handle_open k0 ~src:3 gf Proto.Mode_read ~shared:false None);
-  check Alcotest.(option int) "site 2 count" (Some 2) (List.assoc_opt 2 f.K.readers);
-  check Alcotest.(option int) "site 3 count" (Some 1) (List.assoc_opt 3 f.K.readers);
+  check Alcotest.(option int) "site 2 count" (Some 2) (Site.Map.find_opt 2 f.K.readers);
+  check Alcotest.(option int) "site 3 count" (Some 1) (Site.Map.find_opt 3 f.K.readers);
   ignore (Css.handle_ss_close k0 gf ~us:2 ~mode:Proto.Mode_read);
-  check Alcotest.(option int) "decremented" (Some 1) (List.assoc_opt 2 f.K.readers)
+  check Alcotest.(option int) "decremented" (Some 1) (Site.Map.find_opt 2 f.K.readers)
 
 let test_sites_with_latest_excludes_stale_and_unreachable () =
   let w = make_world () in
@@ -83,12 +83,12 @@ let test_sites_with_latest_excludes_stale_and_unreachable () =
   let f = Css.get_file k0 0 gf.Catalog.Gfile.ino in
   (* Forge: site 3 stale, site 2 unreachable. *)
   f.K.site_vv <- Site.Map.add 3 Vvec.zero f.K.site_vv;
-  k0.K.site_table <- [ 0; 1; 3 ];
+  K.set_sites k0 [ 0; 1; 3 ];
   let latest = Css.sites_with_latest k0 f in
   check Alcotest.bool "stale excluded" false (List.mem 3 latest);
   check Alcotest.bool "unreachable excluded" false (List.mem 2 latest);
   check Alcotest.bool "current reachable included" true (List.mem 0 latest);
-  k0.K.site_table <- [ 0; 1; 2; 3 ]
+  K.set_sites k0 [ 0; 1; 2; 3 ]
 
 let test_update_site_vv_monotone () =
   let w = make_world () in
@@ -121,7 +121,7 @@ let test_register_open_rebuild () =
   Css.register_open k0 0 (gf.Catalog.Gfile.ino, Proto.Mode_read, 1);
   let f = Css.get_file k0 0 gf.Catalog.Gfile.ino in
   check Alcotest.(option int) "writer rebuilt" (Some 3) f.K.writer;
-  check Alcotest.(option int) "reader rebuilt" (Some 1) (List.assoc_opt 1 f.K.readers);
+  check Alcotest.(option int) "reader rebuilt" (Some 1) (Site.Map.find_opt 1 f.K.readers);
   (* Scrub on departure. *)
   Css.drop_site k0 3;
   check Alcotest.(option int) "writer scrubbed" None f.K.writer

@@ -142,7 +142,7 @@ let test_eviction_sends_one_close () =
     (Stats.delta_of stats snap "net.msg.close.us");
   ignore (World.settle w);
   (match Css.find_file k0 0 gfa.Gfile.ino with
-  | Some f -> check Alcotest.int "reader registration drained" 0 (List.length f.K.readers)
+  | Some f -> check Alcotest.int "reader registration drained" 0 (K.Site.Map.cardinal f.K.readers)
   | None -> Alcotest.fail "css record missing");
   check Alcotest.bool "evicted grant gone" false (held k3 gfa);
   check Alcotest.bool "new grant live" true (held k3 gfb);

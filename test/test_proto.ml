@@ -22,7 +22,7 @@ let some_reqs =
     Proto.Read_page { gf; lpage = 0; guess = 0 };
     Proto.Write_page { gf; lpage = 0; whole = true; off = 0; data = String.make 1024 'x' };
     Proto.Truncate_req { gf; size = 0 };
-    Proto.Commit_req { gf; us = 0; abort = false; delete = false; force_vv = None };
+    Proto.Commit_req { gf; us = 0; abort = false; delete = false; force_vv = None; stripes = [] };
     Proto.Us_close { gf; mode = Proto.Mode_read };
     Proto.Ss_close { gf; ss = 0; us = 1; mode = Proto.Mode_read };
     Proto.Commit_notify
@@ -109,6 +109,7 @@ let test_resp_sizes () =
       i_mtime = 0.0;
       i_vv = vv_small;
       i_deleted = false;
+      i_stripes = [];
     }
   in
   List.iter
