@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check lint fmt clean
+.PHONY: all build test bench bench-smoke soak soak-smoke check lint fmt clean
 
 all: build
 
@@ -13,14 +13,26 @@ bench:
 
 # A fast slice of the harness as a CI gate: the open protocol (E1), both
 # pathname-resolution experiments (E13 baseline, E19 fast path), the
-# bulk-transfer sweep (E20), the open-lease sweep (E21), and the striping
-# sweep (E22) must run to completion. Their PASS/FAIL cells are
-# human-read; this asserts the experiments themselves stay runnable.
-# E20-E22 also leave BENCH_<experiment>.json behind for machine
-# comparison.
+# bulk-transfer sweep (E20), the open-lease sweep (E21), the striping
+# sweep (E22), and the fault-soak smoke (E23) must run to completion.
+# Their PASS/FAIL cells are human-read; this asserts the experiments
+# themselves stay runnable. E20-E23 also leave BENCH_<experiment>.json
+# behind for machine comparison.
 bench-smoke:
-	@dune exec bench/main.exe -- e1 e13 e19 e20 e21 e22 > /dev/null
-	@echo "bench-smoke: OK (e1 e13 e19 e20 e21 e22 ran clean)"
+	@dune exec bench/main.exe -- e1 e13 e19 e20 e21 e22 e23 > /dev/null
+	@echo "bench-smoke: OK (e1 e13 e19 e20 e21 e22 e23 ran clean)"
+
+# Deterministic fault soak (DESIGN.md section 12, EXPERIMENTS.md E23).
+# soak-smoke is the CI gate: a handful of seeds, bounded ops, seconds not
+# minutes; the subcommand exits non-zero on any invariant violation and
+# prints a shrunken one-line repro for every failing seed. The full sweep
+# is `make soak` (50 seeds x 2000 ops).
+soak-smoke:
+	@dune exec bench/main.exe -- soak --seeds 8 --ops 500
+	@echo "soak-smoke: OK (8 seeds, zero invariant violations)"
+
+soak:
+	dune exec bench/main.exe -- soak --seeds 50 --ops 2000
 
 # Warning-as-error gate: a cold build must produce no compiler output at
 # all. dune only prints warnings when it (re)compiles, so the gate cleans
@@ -41,6 +53,7 @@ lint:
 check: lint
 	dune runtest
 	$(MAKE) bench-smoke
+	$(MAKE) soak-smoke
 	@if command -v ocamlformat >/dev/null 2>&1; then \
 		dune build @fmt; \
 	else \

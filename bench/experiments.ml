@@ -39,6 +39,19 @@ let gf_of k path =
 
 let msgs w snap = Stats.delta_of (World.stats w) snap "net.msg"
 
+(* Bench runs must distinguish a drained engine from a livelocked one:
+   exhausting the event budget is a harness failure, not quiesce. *)
+let settle_ok w =
+  match World.settle w with
+  | _, `Idle -> ()
+  | _, `Limit -> failwith "World.settle exhausted its event budget (livelock?)"
+
+let drain w =
+  match Engine.run_until_idle (World.engine w) with
+  | _, `Idle -> ()
+  | _, `Limit ->
+    failwith "Engine.run_until_idle exhausted its event budget (livelock?)"
+
 (* The baseline-protocol experiments (E3, E11, E16) pin the open-lease
    layer off: they reproduce the paper's classic open/close exchanges,
    which the lease layer (E21) deliberately short-circuits. *)
@@ -51,7 +64,7 @@ let mk_file w ~at ~ncopies ~path ~body =
   ignore (Kernel.creat k p path);
   if String.length body > 0 then Kernel.write_file k p path body;
   Kernel.set_ncopies p saved;
-  ignore (World.settle w)
+  settle_ok w
 
 (* ---------------------------------------------------------------- E1 *)
 (* Figure 2 / section 2.3.3: the open protocol across the eight
@@ -71,7 +84,7 @@ let e1 () =
     let m = msgs w snap in
     let dt = World.now w -. t0 in
     Us.close k o;
-    ignore (World.settle w);
+    settle_ok w;
     [ label; Report.i m; Report.i paper; Report.f2 dt; Report.check (m = paper) ]
   in
   let rows =
@@ -124,7 +137,7 @@ let e2 () =
       let t0 = World.now w in
       ignore (Us.read_page k o lpage);
       stall := !stall +. (World.now w -. t0);
-      ignore (Engine.run_until_idle (World.engine w))
+      drain w
     done;
     let per_page = !stall /. float_of_int pages in
     let m = msgs w snap in
@@ -275,7 +288,7 @@ let e4 () =
     let k2 = World.kernel w 2 and p2 = World.proc w 2 in
     ignore (Kernel.creat k2 p2 "/leg");
     Kernel.write_file k2 p2 "/leg" "l";
-    ignore (World.settle w);
+    settle_ok w;
     let t = Txn.begin_top k0 p0 in
     Txn.write t "/leg" "txn";
     World.crash_site w 2;
@@ -441,14 +454,14 @@ let e7 () =
         let k0 = World.kernel w 0 and p0 = World.proc w 0 in
         Kernel.set_ncopies p0 4;
         ignore (Kernel.mkdir k0 p0 "/d");
-        ignore (World.settle w);
+        settle_ok w;
         ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
         let k2 = World.kernel w 2 and p2 = World.proc w 2 in
         for i = 1 to entries do
           ignore (Kernel.creat k0 p0 (Printf.sprintf "/d/left%d" i));
           ignore (Kernel.creat k2 p2 (Printf.sprintf "/d/right%d" i))
         done;
-        ignore (World.settle w);
+        settle_ok w;
         let host_t0 = Unix.gettimeofday () in
         let t0 = World.now w in
         let _, recon = World.heal_and_merge w in
@@ -543,7 +556,7 @@ let e9 () =
         let snap2 = Stats.snapshot (World.stats w) in
         Kernel.write_file (World.kernel w 0) (World.proc w 0) "/f"
           (String.make 2048 'w');
-        ignore (World.settle w);
+        settle_ok w;
         let write_msgs = msgs w snap2 in
         (* Availability: crash the first two sites (which hold the first
            copies, site 0 being the creator); can the others still read? *)
@@ -678,7 +691,7 @@ let e11 () =
   let row3, _ =
     step "close (US->SS, SS->CSS local)" (fun () -> Us.close k2 o) 2
   in
-  ignore (World.settle w);
+  settle_ok w;
   Report.table ~title:"message count per step of a remote file access"
     ~header:[ "step"; "messages"; "expected"; "ok" ]
     [ row1; row2; row3 ];
@@ -710,7 +723,7 @@ let e12 () =
         ignore (Kernel.mkdir k0 p0 "/mail");
         ignore (Kernel.creat ~ftype:Inode.Mailbox k0 p0 "/mail/u");
         Kernel.mailbox_deliver k0 ~path:"/mail/u" ~from:"pre" ~body:"shared";
-        ignore (World.settle w);
+        settle_ok w;
         ignore (World.partition w [ [ 0; 1 ]; [ 2; 3 ] ]);
         for i = 1 to per_side do
           Kernel.mailbox_deliver k0 ~path:"/mail/u" ~from:"left"
@@ -725,7 +738,7 @@ let e12 () =
           ignore (Mbox.delete box ~id:m.Mbox.id ~stamp:(World.now w));
           Kernel.write_file k0 p0 "/mail/u" (Mbox.encode box)
         | _ -> ());
-        ignore (World.settle w);
+        settle_ok w;
         let _, recon = World.heal_and_merge w in
         let conflicts =
           List.fold_left (fun a (_, r) -> a + r.Reconcile.conflicts_marked) 0 recon
@@ -769,7 +782,7 @@ let deep_tree_prepare w depth =
     end
   in
   mk "" 1;
-  ignore (World.settle w)
+  settle_ok w
 
 let deep_tree_path depth =
   let rec fix acc i =
@@ -838,7 +851,7 @@ let e14 () =
         Kernel.write_file (World.kernel w 0) (World.proc w 0) "/hot"
           (String.make 2048 'b');
         let t_commit = World.now w -. t0 in
-        ignore (World.settle w);
+        settle_ok w;
         let t_converged = World.now w -. t0 in
         let m = msgs w snap in
         (* Verify convergence: every copy carries the same version vector. *)
@@ -1055,10 +1068,10 @@ let e18 () =
         let t0 = World.now w in
         ignore (Us.read_page k2 o lpage);
         stall := !stall +. (World.now w -. t0);
-        ignore (Engine.run_until_idle (World.engine w))
+        drain w
       done;
       Us.close k2 o;
-      ignore (World.settle w);
+      settle_ok w;
       !stall /. float_of_int pages
     in
     let snap = Stats.snapshot (World.stats w) in
@@ -1216,13 +1229,13 @@ let e20 () =
     for lpage = 0 to pages - 1 do
       let data, _ = Us.read_page k o lpage in
       Buffer.add_string buf data;
-      ignore (Engine.run_until_idle (World.engine w))
+      drain w
     done;
     let m = Stats.delta_of (World.stats w) snap "net.msg.read" in
     let b = Stats.delta_of (World.stats w) snap "net.bytes" in
     let dt = World.now w -. t0 in
     Us.close k o;
-    ignore (World.settle w);
+    settle_ok w;
     (m, b, dt, String.equal (Buffer.contents buf) body, World.stats w)
   in
   (* (b) site 2 writes the same 32 pages through the write protocol. *)
@@ -1236,7 +1249,7 @@ let e20 () =
     let m = Stats.delta_of (World.stats w) snap "net.msg.write" in
     let b = Stats.delta_of (World.stats w) snap "net.bytes" in
     let dt = World.now w -. t0 in
-    ignore (World.settle w);
+    settle_ok w;
     let k0 = World.kernel w 0 and p0 = World.proc w 0 in
     (m, b, dt, String.equal (Kernel.read_file k0 p0 "/out") body, World.stats w)
   in
@@ -1249,7 +1262,7 @@ let e20 () =
     let snap = Stats.snapshot (World.stats w) in
     let t0 = World.now w in
     Kernel.write_file k0 p0 "/repl" body;
-    ignore (World.settle w);
+    settle_ok w;
     let m = Stats.delta_of (World.stats w) snap "net.msg.read" in
     let b = Stats.delta_of (World.stats w) snap "net.bytes" in
     let dt = World.now w -. t0 in
@@ -1336,14 +1349,14 @@ let e21 () =
     let o = Us.open_gf k gf Proto.Mode_read in
     let cold = msgs w snap in
     Us.close k o;
-    ignore (World.settle w);
+    settle_ok w;
     let snap = Stats.snapshot (World.stats w) in
     let t0 = World.now w in
     let o2 = Us.open_gf k gf Proto.Mode_read in
     let warm = msgs w snap in
     let warm_ms = World.now w -. t0 in
     Us.close k o2;
-    ignore (World.settle w);
+    settle_ok w;
     (label, slug, cold, warm, warm_ms, paper)
   in
   let leased = List.map (run K.default_config) placements in
@@ -1370,7 +1383,7 @@ let e21 () =
   let o = Us.open_gf k3 gf Proto.Mode_read in
   ignore (Us.read_all k3 o);
   Us.close k3 o;
-  ignore (World.settle w);
+  settle_ok w;
   let held = Locus_core.Openlease.find_entry k3.K.open_leases gf <> None in
   let t0 = World.now w in
   let ow = Us.open_gf k2 gf Proto.Mode_modify in
@@ -1388,13 +1401,13 @@ let e21 () =
   Us.set_contents k2 ow "fresh";
   Us.commit k2 ow;
   Us.close k2 ow;
-  ignore (World.settle w);
+  settle_ok w;
   let snap = Stats.snapshot (World.stats w) in
   let o2 = Us.open_gf k3 gf Proto.Mode_read in
   let reopen_msgs = msgs w snap in
   let seen = Us.read_all k3 o2 in
   Us.close k3 o2;
-  ignore (World.settle w);
+  settle_ok w;
   metric "break.ms" break_ms;
   metric "break.reopen.msgs" (float_of_int reopen_msgs);
   Report.table ~title:"writer interference on a leased file"
@@ -1487,12 +1500,12 @@ let e22 () =
       (* Let streamed fetches land while the application processes the
          page, as in E20 — the width-1 baseline is the bulk layer at its
          best, not a strawman. *)
-      ignore (Engine.run_until_idle (World.engine w))
+      drain w
     done;
     let read_ms = World.now w -. t1 in
     let m = msgs w snap in
     Us.close k o;
-    ignore (World.settle w);
+    settle_ok w;
     let ok = String.equal (Buffer.contents buf) body in
     (width, granted, open_ms, read_ms, bytes /. read_ms, m, ok)
   in
@@ -1557,7 +1570,7 @@ let e22 () =
           for lpage = 0 to pages - 1 do
             let data, _ = Us.read_page k o lpage in
             Buffer.add_string buf data;
-            ignore (Engine.run_until_idle (World.engine w))
+            drain w
           done;
           let read_ms = World.now w -. t1 in
           let m = msgs w snap in
@@ -1565,7 +1578,7 @@ let e22 () =
           (open_ms, read_ms, m, String.equal (Buffer.contents buf) body))
         clients
     in
-    ignore (World.settle w);
+    settle_ok w;
     let nc = float_of_int (List.length per_client) in
     let mean f = List.fold_left (fun a x -> a +. f x) 0.0 per_client /. nc in
     let open_ms = mean (fun (o, _, _, _) -> o) in
@@ -1608,9 +1621,69 @@ let e22 () =
      single-SS protocol, and cost per open does not grow with the size of\n\
      the installation.\n"
 
+(* ---------------------------------------------------------------- E23 *)
+(* Fault-soak smoke: a handful of seeded runs of the deterministic soak
+   harness (lib/soak) — randomized fault schedules over a live replicated
+   tree, then global invariant checks at quiesce. The full sweep (50+
+   seeds x 2000+ ops) runs via `make soak`; this keeps the bench suite
+   fast while still exercising every fault class. *)
+let e23 () =
+  Report.section "E23  Deterministic fault soak (smoke)"
+    "seeded fault schedules vs global invariants at quiesce";
+  let metric = Report.metric ~experiment:"e23" in
+  let seeds = List.init 6 (fun i -> i + 1) in
+  let ops = 400 in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    List.map (fun seed -> Soak.Driver.run ~seed ~ops ()) seeds
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let injected =
+    List.fold_left
+      (fun acc oc ->
+        List.fold_left
+          (fun acc (l, c) ->
+            (l, c + Option.value ~default:0 (List.assoc_opt l acc))
+            :: List.remove_assoc l acc)
+          acc oc.Soak.Driver.oc_injected)
+      [] outcomes
+    |> List.sort compare
+  in
+  Report.table ~title:(Printf.sprintf "%d seeds x %d ops" (List.length seeds) ops)
+    ~header:[ "seed"; "ops"; "errors"; "faults"; "skipped"; "events"; "invariants" ]
+    (List.map
+       (fun oc ->
+         [ Report.i oc.Soak.Driver.oc_seed;
+           Report.i oc.Soak.Driver.oc_report.Locus.Workload.ops;
+           Report.i oc.Soak.Driver.oc_report.Locus.Workload.errors;
+           Report.i
+             (List.fold_left (fun a (_, c) -> a + c) 0 oc.Soak.Driver.oc_injected);
+           Report.i oc.Soak.Driver.oc_skipped;
+           Report.i oc.Soak.Driver.oc_events;
+           Report.check (not (Soak.Driver.failed oc)) ])
+       outcomes);
+  Report.table ~title:"faults injected by class (all seeds)"
+    ~header:[ "fault"; "count" ]
+    (List.map (fun (l, c) -> [ l; Report.i c ]) injected);
+  let total_faults = List.fold_left (fun a (_, c) -> a + c) 0 injected in
+  metric "soak.seeds" (float_of_int (List.length seeds));
+  metric "soak.ops.per.seed" (float_of_int ops);
+  metric "soak.faults.injected" (float_of_int total_faults);
+  metric "soak.violations"
+    (float_of_int
+       (List.fold_left
+          (fun a oc -> a + List.length oc.Soak.Driver.oc_violations)
+          0 outcomes));
+  metric "soak.wall.s" wall;
+  Printf.printf
+    "%d seeds, %d faults injected, %d invariant violations, %.1fs wall\n"
+    (List.length seeds) total_faults
+    (List.fold_left (fun a oc -> a + List.length oc.Soak.Driver.oc_violations) 0 outcomes)
+    wall
+
 let all =
   [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; e16; e17;
-    e18; e19; e20; e21; e22 ]
+    e18; e19; e20; e21; e22; e23 ]
 
 let by_name =
   [
@@ -1618,4 +1691,5 @@ let by_name =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17);
     ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21); ("e22", e22);
+    ("e23", e23);
   ]

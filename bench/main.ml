@@ -3,7 +3,12 @@
    dune exec bench/main.exe            -- run every experiment (E1..E12)
    dune exec bench/main.exe -- e5 e6   -- run selected experiments
    dune exec bench/main.exe -- micro   -- Bechamel micro-benchmarks of the
-                                          hot paths (host CPU time) *)
+                                          hot paths (host CPU time)
+   dune exec bench/main.exe -- soak [--seeds K] [--seed N] [--ops M]
+                                    [--drop i,j,...]
+                                       -- deterministic fault soak; failing
+                                          seeds shrink to a minimal repro
+                                          command and exit non-zero *)
 
 module World = Locus.World
 module Kernel = Locus_core.Kernel
@@ -26,7 +31,7 @@ let micro_tests () =
   Kernel.set_ncopies p0 2;
   ignore (Kernel.creat k0 p0 "/bench");
   Kernel.write_file k0 p0 "/bench" (String.make 4096 'b');
-  ignore (World.settle w);
+  Experiments.settle_ok w;
   let gf0 = Locus_core.Pathname.resolve_from k0 ~cwd:(Catalog.Mount.root k0.K.mount)
       ~context:[] "/bench" in
   let k3 = World.kernel w 3 in
@@ -106,6 +111,76 @@ let run_micro () =
         stats)
     tests
 
+(* ---- fault soak ---- *)
+
+(* `soak --seed N --ops M [--drop i,j]` replays one scenario (this is the
+   shape of the shrunken repro commands the harness prints); `soak --seeds
+   K --ops M` sweeps seeds 1..K, shrinking any failure. Exit 1 on any
+   invariant violation. *)
+let run_soak args =
+  let seeds = ref 0 and seed = ref 1 and ops = ref 2000 and drop = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--seeds" :: v :: rest -> seeds := int_of_string v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--ops" :: v :: rest -> ops := int_of_string v; parse rest
+    | "--drop" :: v :: rest ->
+      drop := List.map int_of_string (String.split_on_char ',' v);
+      parse rest
+    | a :: _ -> failwith (Printf.sprintf "soak: unknown argument %S" a)
+  in
+  parse args;
+  let scenarios =
+    if !seeds > 0 then
+      List.init !seeds (fun i ->
+          { Soak.Shrink.sc_seed = i + 1; sc_ops = !ops; sc_drop = [] })
+    else [ { Soak.Shrink.sc_seed = !seed; sc_ops = !ops; sc_drop = !drop } ]
+  in
+  let fails sc =
+    Soak.Driver.failed
+      (Soak.Driver.run ~drop:sc.Soak.Shrink.sc_drop ~seed:sc.Soak.Shrink.sc_seed
+         ~ops:sc.Soak.Shrink.sc_ops ())
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun sc ->
+      let oc =
+        Soak.Driver.run ~drop:sc.Soak.Shrink.sc_drop ~seed:sc.Soak.Shrink.sc_seed
+          ~ops:sc.Soak.Shrink.sc_ops ()
+      in
+      let faults =
+        List.fold_left (fun a (_, c) -> a + c) 0 oc.Soak.Driver.oc_injected
+      in
+      if Soak.Driver.failed oc then begin
+        incr failures;
+        let labels =
+          String.concat ", "
+            (List.map
+               (fun (l, c) -> if c = 1 then l else Printf.sprintf "%s x%d" l c)
+               oc.Soak.Driver.oc_injected)
+        in
+        Printf.printf "seed %d: FAIL (%d ops, %d faults: %s)\n%!"
+          sc.Soak.Shrink.sc_seed oc.Soak.Driver.oc_report.Locus.Workload.ops
+          faults labels;
+        List.iter
+          (fun v -> Printf.printf "  %s\n" (Format.asprintf "%a" Soak.Invariant.pp_violation v))
+          oc.Soak.Driver.oc_violations;
+        let small, runs = Soak.Shrink.shrink ~fails sc in
+        Printf.printf "  shrunk in %d replays; minimal repro:\n  %s\n%!" runs
+          (Soak.Shrink.repro_command small)
+      end
+      else
+        Printf.printf "seed %d: ok (%d ops, %d faults, %d events)\n%!"
+          sc.Soak.Shrink.sc_seed oc.Soak.Driver.oc_report.Locus.Workload.ops
+          faults oc.Soak.Driver.oc_events)
+    scenarios;
+  if !failures > 0 then begin
+    Printf.printf "soak: %d/%d scenarios FAILED\n" !failures
+      (List.length scenarios);
+    exit 1
+  end
+  else Printf.printf "soak: all %d scenarios passed\n" (List.length scenarios)
+
 (* ---- entry point ---- *)
 
 let () =
@@ -117,6 +192,7 @@ let () =
     List.iter (fun e -> e ()) Experiments.all;
     run_micro ()
   | [ "micro" ] -> run_micro ()
+  | "soak" :: rest -> run_soak rest
   | names ->
     List.iter
       (fun name ->

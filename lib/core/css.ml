@@ -200,27 +200,34 @@ let handle_open k ~src gf mode ~shared us_vv =
               Some (k.site, info, s.s_slot)
             | Some _ | None -> None
           in
+          (* Every choice records whether serving state for this open
+             already exists at the chosen SS (storage poll or CSS-local
+             registration). Only the US-is-current shortcut skips the
+             registration — the US creates it on receipt; without the
+             distinction the US double-registers a polled self-serve open
+             and one close can never balance two registrations. *)
+          let reg (ss, info, slot) = (ss, info, slot, true) in
           let classic_choice () =
             (* While a writer is active only one storage site may be
                involved (section 2.3.6 footnote): every open is directed to
                writer_ss. *)
             match f.writer_ss with
-            | Some ss when List.mem ss candidates -> poll ss
+            | Some ss when List.mem ss candidates -> Option.map reg (poll ss)
             | Some _ | None ->
               if us_is_current then
                 (* Optimization 1: the US stores the latest version; pick it
                    with no storage poll. *)
-                Some (src, own_inode (Option.get us_vv), 0)
+                Some (src, own_inode (Option.get us_vv), 0, false)
               else begin
                 match css_self () with
-                | Some x -> Some x
+                | Some x -> Some (reg x)
                 | None ->
                   let rec try_sites = function
                     | [] -> None
                     | c :: rest -> (
                       match poll c with Some x -> Some x | None -> try_sites rest)
                   in
-                  try_sites candidates
+                  Option.map reg (try_sites candidates)
               end
           in
           (* Stripe only a solitary open: a modify session fans its pages
@@ -258,7 +265,7 @@ let handle_open k ~src gf mode ~shared us_vv =
                 in
                 match prim with
                 | Some x when List.for_all (fun p -> poll p <> None) peers ->
-                  (Some x, stripes_granted)
+                  (Some (reg x), stripes_granted)
                 | Some _ | None -> (classic_choice (), []))
               | Proto.Mode_read | Proto.Mode_internal -> (
                 (* Only the primary is polled and registered: peers serve
@@ -268,12 +275,12 @@ let handle_open k ~src gf mode ~shared us_vv =
                   if Site.equal primary k.site then css_self () else poll primary
                 in
                 match prim with
-                | Some x -> (Some x, stripes_granted)
+                | Some x -> (Some (reg x), stripes_granted)
                 | None -> (classic_choice (), [])))
           in
           match choice with
           | None -> Proto.R_err Proto.Enet
-          | Some (ss, info, slot) ->
+          | Some (ss, info, slot, registered) ->
             let lease =
               (* Grant a revocable read lease when nothing threatens the
                  version the grant names: no writer, no conflict, not a
@@ -313,6 +320,7 @@ let handle_open k ~src gf mode ~shared us_vv =
                 nocache = f.writer <> None;
                 slot;
                 lease;
+                registered;
               }
         end
     end

@@ -18,11 +18,17 @@ let update_dir k dir_gf f =
   let rec attempt tries =
     match Us.open_gf k dir_gf Proto.Mode_modify with
     | o ->
-      let dir = Pathname.dir_of_body (Us.read_all k o) in
-      (match f dir with
+      (* Anything that raises from here on — the read, the user function,
+         the rewrite, the commit — must still release the open, or the SS
+         keeps the serving registration and shadow session forever. *)
+      (match
+         let dir = Pathname.dir_of_body (Us.read_all k o) in
+         let result = f dir in
+         Us.set_contents k o (Dir.encode dir);
+         Us.commit k o;
+         result
+       with
       | result ->
-        Us.set_contents k o (Dir.encode dir);
-        Us.commit k o;
         Us.close k o;
         (* This site just changed the directory, and its own commit
            notification never loops back here: retire name-cache links
@@ -30,8 +36,7 @@ let update_dir k dir_gf f =
         Namecache.note_dir_vv k.name_cache ~dir:dir_gf o.o_info.Proto.i_vv;
         result
       | exception e ->
-        Us.abort k o;
-        Us.close k o;
+        Us.release k o;
         raise e)
     | exception Error (Proto.Ebusy, _) when tries > 0 ->
       charge k 1.0;
@@ -111,24 +116,35 @@ let create_in k dir_gf ~name ~ftype ~owner ~perms ~ncopies =
 (* Initialize a fresh directory's "." and ".." entries. *)
 let init_directory k gf ~parent_ino =
   let o = Us.open_gf k gf Proto.Mode_modify in
-  let dir = Dir.empty () in
-  Dir.insert dir ~name:"." ~ino:gf.Gfile.ino ~stamp:(now k) ~origin:k.site;
-  Dir.insert dir ~name:".." ~ino:parent_ino ~stamp:(now k) ~origin:k.site;
-  Us.set_contents k o (Dir.encode dir);
-  Us.commit k o;
-  Us.close k o
+  match
+    let dir = Dir.empty () in
+    Dir.insert dir ~name:"." ~ino:gf.Gfile.ino ~stamp:(now k) ~origin:k.site;
+    Dir.insert dir ~name:".." ~ino:parent_ino ~stamp:(now k) ~origin:k.site;
+    Us.set_contents k o (Dir.encode dir);
+    Us.commit k o
+  with
+  | () -> Us.close k o
+  | exception e ->
+    Us.release k o;
+    raise e
 
 (* Adjust a file's link count at its current storage site. *)
 let link_count k gf ~delta =
   let o = Us.open_gf k gf Proto.Mode_modify in
   let resp =
-    if Site.equal o.o_ss k.site then Ss.handle_link_count k gf ~delta
-    else rpc k o.o_ss (Proto.Link_count { gf; delta })
+    match
+      if Site.equal o.o_ss k.site then Ss.handle_link_count k gf ~delta
+      else rpc k o.o_ss (Proto.Link_count { gf; delta })
+    with
+    | resp -> resp
+    | exception e ->
+      Us.release k o;
+      raise e
   in
   (match resp with
   | Proto.R_committed _ -> ()
   | Proto.R_err e ->
-    Us.close k o;
+    Us.release k o;
     err e "link count update failed"
   | _ -> ());
   Us.close k o
@@ -141,8 +157,11 @@ let unlink_gf k dir_gf ~name =
   if info.Proto.i_nlink > 1 then link_count k gf ~delta:(-1)
   else begin
     let o = Us.open_gf k gf Proto.Mode_modify in
-    Us.delete_file k o;
-    Us.close k o;
+    (match Us.delete_file k o with
+    | () -> Us.close k o
+    | exception e ->
+      Us.release k o;
+      raise e);
     (* The unlinking site may never receive the deletion's commit
        notification (it need not store the file): drop links to the dead
        inode here as well. *)

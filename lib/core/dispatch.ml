@@ -36,8 +36,8 @@ let handle k ~src (req : Proto.req) : Proto.resp =
          version of this file can never hit again — drop them from both
          cache tiers by (file, version) prefix. *)
       let stale (g, _, v) = Gfile.equal g gf && not (String.equal v (vv_key vv)) in
-      Cache.invalidate_if k.us_cache stale;
-      Cache.invalidate_if k.ss_cache stale;
+      Cache.invalidate_if ~notify:false k.us_cache stale;
+      Cache.invalidate_if ~notify:false k.ss_cache stale;
       (* Name-cache coherence rides the same notification: links read from
          an older version of this directory are dead, and if the file was
          deleted no link may keep resolving to it. *)
@@ -53,11 +53,12 @@ let handle k ~src (req : Proto.req) : Proto.resp =
       Proto.R_ok
     | Proto.Reclaim_req { gf } -> Ss.handle_reclaim k gf
     | Proto.Page_invalidate { gf; lpage } ->
-      Cache.invalidate_if k.us_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+      Cache.invalidate_if ~notify:false k.us_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
       Proto.R_ok
     | Proto.Lease_break { gf } ->
       (* CSS callback: drop the retained grant; the deferred close (if one
          is owed and no open still rides the lease) goes out now. *)
+      record k ~tag:"us.lease.breakcb" (Gfile.to_string gf);
       Openlease.kill k.open_leases gf;
       Proto.R_ok
     (* create / delete / metadata *)

@@ -98,7 +98,7 @@ let open_checked k (proc : proc) gf mode =
   let write = mode = Proto.Mode_modify in
   if may_access proc o.o_info ~write then o
   else begin
-    (try Us.close k o with Error _ -> ());
+    Us.release k o;
     err Proto.Eaccess "%s permission denied on %a for %s"
       (if write then "write" else "read")
       Gfile.pp gf proc.p_uid
@@ -114,10 +114,14 @@ let alloc_fd_num (proc : proc) =
 let open_path k (proc : proc) path mode =
   let gf = resolve k proc path in
   let o = open_checked k proc gf mode in
-  let fd = Tokens.create_fd k ~gf ~mode ~ofile:o in
-  let num = alloc_fd_num proc in
-  Hashtbl.replace proc.p_fds num fd.f_key;
-  num
+  match Tokens.create_fd k ~gf ~mode ~ofile:o with
+  | fd ->
+    let num = alloc_fd_num proc in
+    Hashtbl.replace proc.p_fds num fd.f_key;
+    num
+  | exception e ->
+    Us.release k o;
+    raise e
 
 let fd_of k (proc : proc) num =
   match Hashtbl.find_opt proc.p_fds num with
@@ -171,7 +175,11 @@ let close_fd k (proc : proc) num =
   fd.f_refs <- fd.f_refs - 1;
   if fd.f_refs <= 0 then begin
     (match fd.f_ofile with
-    | Some o -> ( try Us.close k o with Error _ -> ())
+    | Some o -> (
+      (* A close can fail mid-protocol (its commit leg raises when the SS
+         died); the open must still be torn down or it leaks, dirty,
+         holding the CSS write lock. *)
+      try Us.close k o with Error _ -> Us.release k o)
     | None -> ());
     Hashtbl.remove k.shared_fds fd.f_key
   end
@@ -238,26 +246,43 @@ let chdir k (proc : proc) path =
 
 (* ---- whole-file conveniences ---- *)
 
+(* A failing step mid-operation (an SS crash surfacing as a raised Error,
+   say) must not abandon the open: release it so the close protocol still
+   runs and the SS serving registration and shadow session are torn down. *)
 let read_file k (proc : proc) path =
   let gf = resolve k proc path in
   let o = open_checked k proc gf Proto.Mode_read in
-  let body = Us.read_all k o in
-  Us.close k o;
-  body
+  match Us.read_all k o with
+  | body ->
+    Us.close k o;
+    body
+  | exception e ->
+    Us.release k o;
+    raise e
 
 let write_file k (proc : proc) path body =
   let gf = resolve k proc path in
   let o = open_checked k proc gf Proto.Mode_modify in
-  Us.set_contents k o body;
-  Us.commit k o;
-  Us.close k o
+  match
+    Us.set_contents k o body;
+    Us.commit k o
+  with
+  | () -> Us.close k o
+  | exception e ->
+    Us.release k o;
+    raise e
 
 let append_file k (proc : proc) path body =
   let gf = resolve k proc path in
   let o = open_checked k proc gf Proto.Mode_modify in
-  Us.write k o ~off:o.o_info.Proto.i_size body;
-  Us.commit k o;
-  Us.close k o
+  match
+    Us.write k o ~off:o.o_info.Proto.i_size body;
+    Us.commit k o
+  with
+  | () -> Us.close k o
+  | exception e ->
+    Us.release k o;
+    raise e
 
 (* ---- attribute changes: metadata-only commits ---- *)
 
@@ -269,13 +294,19 @@ let set_attr k (proc : proc) path ~perms ~owner =
   (* Serialize against writers via the normal open protocol. *)
   let o = Us.open_gf k gf Proto.Mode_modify in
   let resp =
-    if Site.equal o.o_ss k.site then Ss.handle_set_attr k gf ~perms ~owner
-    else rpc k o.o_ss (Proto.Set_attr { gf; perms; owner })
+    match
+      if Site.equal o.o_ss k.site then Ss.handle_set_attr k gf ~perms ~owner
+      else rpc k o.o_ss (Proto.Set_attr { gf; perms; owner })
+    with
+    | resp -> resp
+    | exception e ->
+      Us.release k o;
+      raise e
   in
   (match resp with
   | Proto.R_committed _ -> ()
   | Proto.R_err e ->
-    (try Us.close k o with Error _ -> ());
+    Us.release k o;
     err e "attribute change failed"
   | _ -> ());
   Us.close k o
@@ -335,16 +366,21 @@ let mailbox_deliver k ~path ~from ~body =
   let root = Mount.root k.mount in
   let gf = Pathname.resolve_from k ~cwd:root ~context:[] path in
   let o = Us.open_gf k gf Proto.Mode_modify in
-  let mbox =
-    match Mbox.decode (Us.read_all k o) with
-    | mbox -> mbox
-    | exception Failure _ -> Mbox.empty ()
-  in
-  let id = Printf.sprintf "%d.%d" k.site (fresh_serial k) in
-  Mbox.insert mbox ~id ~stamp:(now k) ~from ~body;
-  Us.set_contents k o (Mbox.encode mbox);
-  Us.commit k o;
-  Us.close k o
+  match
+    let mbox =
+      match Mbox.decode (Us.read_all k o) with
+      | mbox -> mbox
+      | exception Failure _ -> Mbox.empty ()
+    in
+    let id = Printf.sprintf "%d.%d" k.site (fresh_serial k) in
+    Mbox.insert mbox ~id ~stamp:(now k) ~from ~body;
+    Us.set_contents k o (Mbox.encode mbox);
+    Us.commit k o
+  with
+  | () -> Us.close k o
+  | exception e ->
+    Us.release k o;
+    raise e
 
 let mailbox_read k (proc : proc) path =
   match Mbox.decode (read_file k proc path) with
@@ -456,8 +492,10 @@ let crash k =
   Hashtbl.reset k.shared_fds;
   Hashtbl.reset k.procs;
   Hashtbl.reset k.pipe_bufs;
-  Storage.Cache.clear k.us_cache;
-  Storage.Cache.clear k.ss_cache;
+  (* ~notify:false: a dead kernel fires no hooks — pages just vanish, and
+     Openlease.clear below likewise drops leases without deferred closes. *)
+  Storage.Cache.clear k.us_cache ~notify:false;
+  Storage.Cache.clear k.ss_cache ~notify:false;
   Namecache.clear k.name_cache;
   Openlease.clear k.open_leases;
   Queue.clear k.prop_queue;

@@ -331,6 +331,62 @@ let rpc k dst req =
   | Ok resp -> resp
   | Stdlib.Error e -> err Proto.Enet "%a" Net.Rpc.pp_error e
 
+(* Close legs ([Us_close]/[Ss_close]) are non-idempotent, so the transport
+   never retries them on its own — but [Unreachable] means the handler
+   provably did not run (the request never arrived), so resending is safe.
+   Without the resend, one randomly lost close between two healthy sites
+   leaks the SS's serving registration forever: nothing downstream rebuilds
+   SS-side state while both ends stay up (merge rebuilds only the CSS lock
+   table, and failure cleanup covers only dead sites). [Lost_reply] means
+   the close DID run — the reply loss is harmless and must not trigger a
+   resend. *)
+let rpc_close ?(attempts = 3) k dst req =
+  let rec go n =
+    match rpc_result k dst req with
+    | Stdlib.Error (Net.Rpc.Unreachable _) when n < attempts ->
+      Sim.Stats.incr (Engine.stats k.engine) "net.close.resend";
+      go (n + 1)
+    | r -> r
+  in
+  go 1
+
+(* At-least-once delivery for the close legs: a loss burst can outlast
+   [rpc_close]'s synchronous resend budget, and a close that is simply
+   dropped leaks serving state for as long as both ends stay up. Park the
+   close and retry on a growing timer until it gets through, the
+   destination leaves this site's partition (membership cleanup then owns
+   the state), or the backoff budget runs out (the destination is down but
+   not yet detected; restart scavenging owns the state). Retries fire only
+   after [Unreachable] — the handler provably did not run — so the
+   non-idempotent close still executes at most once. *)
+let close_park_base_delay = 4.0
+
+let close_park_max_tries = 8
+
+let rec park_close k dst req ~tries =
+  if k.alive && in_partition k dst && tries < close_park_max_tries then
+    Engine.schedule k.engine
+      ~delay:(close_park_base_delay *. (2.0 ** float_of_int tries))
+      (fun () ->
+        if k.alive && in_partition k dst then begin
+          Sim.Stats.incr (Engine.stats k.engine) "net.close.park_retry";
+          match rpc_close k dst req with
+          | Ok _ | Stdlib.Error (Net.Rpc.Lost_reply _ | Net.Rpc.Timeout _) -> ()
+          | Stdlib.Error (Net.Rpc.Unreachable _) ->
+            park_close k dst req ~tries:(tries + 1)
+        end)
+
+(* Send a close leg, parking it for background retry if every synchronous
+   resend was lost. [None] means the caller can treat the close as
+   handed off: it either ran ([Lost_reply]) or will be retried. *)
+let send_close k dst req =
+  match rpc_close k dst req with
+  | Ok resp -> Some resp
+  | Stdlib.Error (Net.Rpc.Unreachable _) ->
+    park_close k dst req ~tries:0;
+    None
+  | Stdlib.Error (Net.Rpc.Lost_reply _ | Net.Rpc.Timeout _) -> None
+
 (* One-way notification; losses are silent (the commit protocol tolerates
    them: recovery reconciles). *)
 let notify k dst req =

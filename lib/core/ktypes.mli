@@ -282,6 +282,27 @@ val rpc : t -> Site.t -> Proto.req -> Proto.resp
 (** Like {!rpc_result}, but any transport failure raises [ENET] — for the
     protocol paths where unreachability simply fails the operation. *)
 
+val rpc_close :
+  ?attempts:int -> t -> Site.t -> Proto.req -> (Proto.resp, Net.Rpc.rpc_error) result
+(** {!rpc_result} for the non-idempotent close legs ([Us_close]/[Ss_close]):
+    resends on [Unreachable] only (the handler provably did not run, so a
+    resend cannot double-apply), up to [attempts] sends total (default 3).
+    [Lost_reply] — the close DID run — is returned as-is, never resent.
+    Without this, one randomly lost close between two healthy sites leaks
+    the SS serving registration forever: merge rebuilds only the CSS lock
+    table, and failure cleanup covers only dead sites. *)
+
+val send_close : t -> Site.t -> Proto.req -> Proto.resp option
+(** {!rpc_close}, plus at-least-once hand-off: if every synchronous resend
+    was lost ([Unreachable]), the close is parked and retried on a growing
+    background timer until it reaches the destination, the destination
+    leaves this site's partition (membership cleanup then owns the state),
+    or the backoff budget runs out (an undetected dead site; restart
+    scavenging owns the state). Retries remain [Unreachable]-only, so the
+    non-idempotent handler still runs at most once. [None] means the close
+    either ran with its reply lost, or is parked for retry — the caller
+    may treat it as handed off either way. *)
+
 val notify : t -> Site.t -> Proto.req -> unit
 (** One-way message; losses are silent (recovery reconciles). *)
 

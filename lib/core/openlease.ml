@@ -143,8 +143,11 @@ let kill_if t pred =
    storage sites clean up through their own failure handling. *)
 let scrub t = kill_if t (fun _ -> true)
 
-(* Crash: volatile state dies silently — no messages from a dead kernel. *)
+(* Crash: volatile state dies silently — no messages from a dead kernel.
+   ~notify:false is load-bearing here: firing on_evict would try to send
+   deferred closes from a site that no longer exists. Every live-site bulk
+   removal must go through [scrub]/[kill_if] instead, which do send them. *)
 let clear t =
   Hashtbl.iter (fun _ e -> e.le_broken <- true) t.tbl;
   Hashtbl.reset t.tbl;
-  match t.cache with None -> () | Some c -> Lru.clear c
+  match t.cache with None -> () | Some c -> Lru.clear c ~notify:false

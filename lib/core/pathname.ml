@@ -34,10 +34,16 @@ let split_path path = String.split_on_char '/' path |> List.filter (fun c -> c <
    vector, which keys the name-cache entries filled from this copy. *)
 let load_dir_remote k gf =
   let o = Us.open_gf k gf Proto.Mode_internal in
-  let body = Us.read_all k o in
-  let info = o.o_info in
-  Us.close k o;
-  (info.Proto.i_ftype, body, info.Proto.i_vv)
+  match Us.read_all k o with
+  | body ->
+    let info = o.o_info in
+    Us.close k o;
+    (info.Proto.i_ftype, body, info.Proto.i_vv)
+  | exception e ->
+    (* The SS died (or the link failed) mid-read: the resolution fails,
+       but the open must still be torn down or it leaks. *)
+    Us.release k o;
+    raise e
 
 (* Load a directory's contents, type and version. Local fast path per
    section 2.3.4; otherwise internal open through the CSS. The [bool]

@@ -94,9 +94,13 @@ let load_module k proc path =
     Pathname.resolve_from k ~cwd:proc.p_cwd ~context:proc.p_context path
   in
   let o = Us.open_gf k gf Proto.Mode_read in
-  let body = Us.read_all k o in
-  Us.close k o;
-  max 1 ((String.length body + Storage.Page.size - 1) / Storage.Page.size)
+  match Us.read_all k o with
+  | body ->
+    Us.close k o;
+    max 1 ((String.length body + Storage.Page.size - 1) / Storage.Page.size)
+  | exception e ->
+    Us.release k o;
+    raise e
 
 (* ---- fork (section 3.1) ---- *)
 
@@ -362,7 +366,9 @@ let exit_proc k proc status =
       | Some fd ->
         fd.f_refs <- fd.f_refs - 1;
         if fd.f_refs <= 0 then begin
-          (match fd.f_ofile with Some o -> (try Us.close k o with Error _ -> ()) | None -> ());
+          (match fd.f_ofile with
+          | Some o -> ( try Us.close k o with Error _ -> Us.release k o)
+          | None -> ());
           Hashtbl.remove k.shared_fds key
         end
       | None -> ())

@@ -17,7 +17,7 @@ module Cache = Storage.Cache
 (* A pull commits through the shadow mechanism directly (below the SS
    handlers), so it must drop the superseded buffered pages itself. *)
 let invalidate_stale k gf ~vv =
-  Cache.invalidate_if k.ss_cache
+  Cache.invalidate_if ~notify:false k.ss_cache
     (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key vv)))
 
 (* Is [local] exactly the version [target] was derived from by one commit at

@@ -171,7 +171,7 @@ let handle_write_page k ~src gf ~lpage ~whole ~off ~data =
       else Shadow.patch_page session ~lpage ~off data;
       (* Write-through: the buffered committed copy of this page is no
          longer what a reader should start from. *)
-      Cache.invalidate_if k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+      Cache.invalidate_if ~notify:false k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
       invalidate_others k gf ~writer:src lpage;
       Proto.R_ok)
 
@@ -206,7 +206,7 @@ let handle_write_pages k ~src gf ~first ~off ~data =
             if poff = 0 && n = Page.size then
               Shadow.write_page session ~lpage (Page.of_string chunk)
             else Shadow.patch_page session ~lpage ~off:poff chunk;
-            Cache.invalidate_if k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
+            Cache.invalidate_if ~notify:false k.ss_cache (fun (g, p, _) -> Gfile.equal g gf && p = lpage);
             invalidate_others k gf ~writer:src lpage;
             loop (pos + n)
           end
@@ -238,7 +238,7 @@ let handle_stripe_collect k gf =
     let size = (Shadow.incore session).Inode.size in
     Shadow.abort session;
     s.s_shadow <- None;
-    Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
+    Cache.invalidate_if ~notify:false k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
     record k ~tag:"ss.stripe.collect"
       (Format.asprintf "%a -> %d pages size=%d" Gfile.pp gf (List.length pages) size);
     Proto.R_stripe { pages; size }
@@ -324,7 +324,7 @@ let handle_commit ?force_vv ?(stripes = []) k gf ~abort ~delete =
       | Some session -> Shadow.abort session
       | None -> ());
       s.s_shadow <- None;
-      Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
+      Cache.invalidate_if ~notify:false k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
       record k ~tag:"ss.abort" (Gfile.to_string gf);
       let vv =
         match Pack.find_inode pack gf.Gfile.ino with
@@ -351,9 +351,14 @@ let handle_commit ?force_vv ?(stripes = []) k gf ~abort ~delete =
       charge_disk_write k;
       Shadow.commit session ~vv ~mtime:(now k);
       s.s_shadow <- None;
+      (* Local lease self-heal: this site just observed the version advance
+         first-hand, so its own US-side retained grant (if any, on the old
+         version) is stale *now* — killing it here closes the window before
+         the CSS's asynchronous [Lease_break] callback arrives. *)
+      Openlease.note_commit k.open_leases gf vv;
       (* The previous version's buffered pages are dead weight now (the new
          version keys differently); drop them. *)
-      Cache.invalidate_if k.ss_cache
+      Cache.invalidate_if ~notify:false k.ss_cache
         (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key vv)));
       (* Likewise name-cache links: if this was a directory, links read
          from the old version are dead; if the file was deleted, no link
@@ -402,7 +407,86 @@ let handle_us_close k ~src gf ~mode =
   let fi = fg_info k gf.Gfile.fg in
   if Site.equal fi.css_site k.site then Css.handle_ss_close k gf ~us:src ~mode
   else
-    rpc k fi.css_site (Proto.Ss_close { gf; ss = k.site; us = src; mode })
+    match send_close k fi.css_site (Proto.Ss_close { gf; ss = k.site; us = src; mode }) with
+    | Some resp -> resp
+    | None ->
+      (* Handed off: the CSS either ran the close with its reply lost, or
+         the leg is parked for background retry; a CSS that can never be
+         reached has its lock table rebuilt by the next partition/merge
+         pass. Either way this SS's side of the close is complete. *)
+      Proto.R_ok
+
+(* Revalidate this site's serving registrations against the using sites'
+   actual open files, part of the post-merge rebuild (the SS-side analogue
+   of the section 5.6 lock-table scrub). A registration can outlive its
+   open when the reply to the open itself is lost: the CSS registered the
+   US here (poll or local add), but the US never learned the open
+   succeeded, so no close will ever arrive. Each US in the partition is
+   asked for its live opens (retained leases are already gone: every
+   member scrubs its lease table on the merge announcement, and those
+   deferred closes run the normal protocol); counts are reset to what the
+   US reports, and emptied registrations are torn down exactly as a last
+   close would — abort the shadow session, free the incore slot. An
+   unreachable US keeps its registrations; the next merge retries. *)
+let revalidate_serving k =
+  (* (us, fg) -> ino -> live open count at us, queried at most once. *)
+  let cache : (Site.t * int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let live_opens us fg =
+    match Hashtbl.find_opt cache (us, fg) with
+    | Some t -> Some t
+    | None ->
+      let resp =
+        if Site.equal us k.site then Some (Css.handle_open_files_query k fg)
+        else if in_partition k us then
+          match rpc_result k us (Proto.Open_files_query { fg }) with
+          | Ok r -> Some r
+          | Stdlib.Error _ -> None
+        else None
+      in
+      (match resp with
+      | Some (Proto.R_open_files { files }) ->
+        let t = Hashtbl.create 8 in
+        List.iter
+          (fun (ino, _mode, _site) ->
+            Hashtbl.replace t ino
+              (1 + Option.value ~default:0 (Hashtbl.find_opt t ino)))
+          files;
+        Hashtbl.add cache (us, fg) t;
+        Some t
+      | Some _ | None -> None)
+  in
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun gf (s : ss_open) ->
+      Site.Map.iter
+        (fun us n ->
+          match live_opens us gf.Gfile.fg with
+          | None -> ()
+          | Some t ->
+            let actual =
+              Option.value ~default:0 (Hashtbl.find_opt t gf.Gfile.ino)
+            in
+            if actual < n then stale := (gf, s, us, actual) :: !stale)
+        s.s_uss)
+    k.ss_opens;
+  List.iter
+    (fun (gf, (s : ss_open), us, actual) ->
+      Sim.Stats.incr (stats k) "ss.revalidate.dropped";
+      record k ~tag:"ss.revalidate"
+        (Format.asprintf "%a us=%a -> %d" Gfile.pp gf Site.pp us actual);
+      s.s_uss <-
+        (if actual = 0 then Site.Map.remove us s.s_uss
+         else Site.Map.add us actual s.s_uss);
+      (match s.s_shadow with
+      | Some session when Site.Map.is_empty s.s_uss ->
+        Shadow.abort session;
+        s.s_shadow <- None
+      | Some _ | None -> ());
+      if Site.Map.is_empty s.s_uss then begin
+        Hashtbl.remove k.ss_opens gf;
+        Hashtbl.remove k.ss_slots s.s_slot
+      end)
+    !stale
 
 (* Create: the placeholder arrives, we allocate the inode number from the
    pack's partition of the inode space (section 2.3.7). *)
@@ -463,7 +547,7 @@ let metadata_commit k gf mutate =
       charge_disk_write k;
       (* The data pages did not change, but they are keyed under the old
          version and can never hit again; free the space. *)
-      Cache.invalidate_if k.ss_cache
+      Cache.invalidate_if ~notify:false k.ss_cache
         (fun (g, _, v) -> Gfile.equal g gf && not (String.equal v (vv_key inode.Inode.vv)));
       Namecache.note_dir_vv k.name_cache ~dir:gf inode.Inode.vv;
       let fi = fg_info k gf.Gfile.fg in
@@ -522,7 +606,7 @@ let handle_reclaim k gf =
   (match local_pack k gf.Gfile.fg with
   | Some pack -> Pack.remove_inode pack gf.Gfile.ino
   | None -> ());
-  Cache.invalidate_if k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
+  Cache.invalidate_if ~notify:false k.ss_cache (fun (g, _, _) -> Gfile.equal g gf);
   (* A reclaimed inode number can be reallocated: drop every name-cache
      link into or out of it, and any retained open grant on it. *)
   Namecache.invalidate_dir k.name_cache gf;

@@ -96,6 +96,16 @@ val handle_us_close :
 (** US→SS leg of the race-free three-message close (§2.3.3 footnote);
     forwards SS→CSS. *)
 
+val revalidate_serving : Ktypes.t -> unit
+(** Post-merge SS-side analogue of the §5.6 lock-table scrub: ask every
+    using site in the partition for its live opens and reset each serving
+    registration's count to what the US reports, tearing emptied ones down
+    like a last close (abort shadow session, free the slot). Cleans up
+    registrations stranded by a lost open reply — the CSS registered the
+    US here, but the US never learned its open succeeded, so no close will
+    ever arrive. Unreachable USes keep their registrations for the next
+    merge to retry. *)
+
 val handle_create :
   Ktypes.t ->
   int ->

@@ -169,7 +169,7 @@ let handle_site_failure k dead =
   List.iter
     (fun (key, fd) ->
       (match fd.f_ofile with
-      | Some o -> ( try Us.close k o with Error _ -> ())
+      | Some o -> ( try Us.close k o with Error _ -> Us.release k o)
       | None -> ());
       Hashtbl.remove k.shared_fds key;
       record k ~tag:"cleanup"

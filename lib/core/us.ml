@@ -78,7 +78,7 @@ let rec open_gf ?(shared = false) k gf mode =
 and open_gf_cold ~shared k fi gf mode =
   let us_vv = local_vv_of k gf in
   match rpc k fi.css_site (Proto.Open_req { gf; mode; us_vv; shared }) with
-  | Proto.R_open { ss; info; others; nocache; slot; lease } ->
+  | Proto.R_open { ss; info; others; nocache; slot; lease; registered } ->
     let info =
       if Site.equal ss k.site then begin
         (* We serve ourselves: the real disk inode is local. *)
@@ -94,8 +94,11 @@ and open_gf_cold ~shared k fi gf mode =
       else info
     in
     (* When the CSS chose this site as SS without a storage poll (the US-is-
-       current optimization), make sure the serving-state exists locally. *)
-    if Site.equal ss k.site then begin
+       current optimization), create the serving state locally. When the
+       CSS *did* poll (or registered a CSS-local serve), the registration
+       already counts this open — adding again would need two closes to
+       balance and leaks a serving entry forever. *)
+    if Site.equal ss k.site && not registered then begin
       let s = Ss.get_open k gf in
       Ss.add_us s k.site;
       s.s_others <- others
@@ -115,6 +118,7 @@ and open_gf_cold ~shared k fi gf mode =
           }
         in
         Openlease.insert k.open_leases e;
+        record k ~tag:"us.lease.grant" (Gfile.to_string gf);
         Some e
       end
       else None
@@ -712,10 +716,13 @@ let lease_send_close k (e : Openlease.entry) =
            (Ss.handle_us_close k ~src:k.site e.Openlease.le_gf ~mode:e.Openlease.le_mode)
        with Error _ -> ())
     else
-      ignore
-        (rpc_result k e.Openlease.le_ss
-           (Proto.Us_close { gf = e.Openlease.le_gf; mode = e.Openlease.le_mode }))
-    (* An unreachable SS is handled by reconfiguration cleanup. *)
+      (* Hand off with background retry; a persistently unreachable SS is
+         handled by reconfiguration cleanup. *)
+      try
+        ignore
+          (send_close k e.Openlease.le_ss
+             (Proto.Us_close { gf = e.Openlease.le_gf; mode = e.Openlease.le_mode }))
+      with Error _ -> ()
   end
 
 (* One local open stops riding the lease. If the lease already died while
@@ -744,10 +751,13 @@ let close k o =
             (try Ss.handle_us_close k ~src:k.site o.o_gf ~mode:o.o_mode
              with Error _ -> Proto.R_ok)
           else
-            match rpc_result k site (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
-            | Ok resp -> resp
-            | Stdlib.Error _ -> Proto.R_ok
-            (* A close that cannot reach the SS is handled by cleanup. *)
+            match send_close k site (Proto.Us_close { gf = o.o_gf; mode = o.o_mode }) with
+            | Some resp -> resp
+            | None -> Proto.R_ok
+            (* Handed off: either the close ran with its reply lost, or it
+               is parked for background retry; a close that can never reach
+               the SS is handled by cleanup when the membership change is
+               observed. *)
         in
         match resp with Proto.R_ok | Proto.R_err _ -> () | _ -> ()
       in
@@ -761,12 +771,29 @@ let close k o =
     (* Without retention the buffered pages die with the open; with it they
        stay, version-keyed, so a re-open of the same version hits warm. *)
     if not k.config.cache_retention then
-      Cache.invalidate_if k.us_cache (fun (g, _, _) -> Gfile.equal g o.o_gf);
+      Cache.invalidate_if ~notify:false k.us_cache (fun (g, _, _) -> Gfile.equal g o.o_gf);
     record k ~tag:"us.close" (Gfile.to_string o.o_gf)
   end
 
 (* Delete the file body: mark the inode deleted and commit (section 2.3.7). *)
 let delete_file k o = ignore (commit_gen k o ~abort:false ~delete:true)
+
+(* Best-effort release of [o] after a failed operation: drop uncommitted
+   modification state, abort any shadow session, run the close protocol —
+   and never raise, so the original error propagates. Error paths that
+   skip the release leak the open forever: nothing else ever closes it,
+   so the SS keeps its serving registration (and any shadow session and
+   its shadow pages) until the site dies. *)
+let release k o =
+  if not o.o_closed then begin
+    o.o_wb <- None;
+    if o.o_dirty then
+      (try ignore (commit_gen k o ~abort:true ~delete:false) with Error _ -> ());
+    (* Whether or not the abort reached the SS, this open must not try to
+       commit on close. *)
+    o.o_dirty <- false;
+    try close k o with Error _ -> ()
+  end
 
 let stat_gf k gf =
   (* Prefer the local copy; otherwise ask the CSS's believed-latest site. *)

@@ -66,6 +66,13 @@ val lease_drop_rider : Ktypes.t -> Openlease.entry -> unit
 val delete_file : Ktypes.t -> Ktypes.ofile -> unit
 (** Mark the inode deleted and commit (§2.3.7). *)
 
+val release : Ktypes.t -> Ktypes.ofile -> unit
+(** Best-effort cleanup of an open after a failed operation: discard any
+    buffered writes, abort uncommitted modifications, and run the close
+    protocol, swallowing protocol errors so the original failure
+    propagates. Every error path that abandons an [ofile] must release it,
+    or the SS serving registration (and any shadow session) leaks. *)
+
 val stat_gf : Ktypes.t -> Catalog.Gfile.t -> Proto.inode_info
 (** Descriptor information, from the local pack when possible, else from a
     reachable site holding the latest version. *)

@@ -42,6 +42,33 @@ val pp_report : Format.formatter -> report -> unit
 val setup : World.t -> spec -> unit
 (** Create the working set: /work files, /bin/cc, /mail/root. *)
 
+val file_path : int -> string
+(** The path of working-set file [i] ("/work/f<i>") — exposed so fault
+    injectors can target the same files the op stream edits. *)
+
+type event =
+  | Wrote of { site : int; path : string; body : string; ok : bool }
+      (** A whole-file overwrite attempt. [ok = false] may still have
+          committed (the commit can execute at the SS and the reply be
+          lost), so a model checker must treat the body as possibly
+          durable. *)
+  | Dirop of { site : int; path : string }
+      (** Create/unlink churn touched [path]. *)
+
+type gen
+(** A reusable operation generator: the seeded op stream plus running
+    counters, stepped one operation at a time so a driver (the fault-soak
+    harness) can interleave operations with fault injection. *)
+
+val make_gen : ?observe:(event -> unit) -> spec -> gen
+
+val gen_step : World.t -> gen -> unit
+(** Issue exactly one operation from a random site (a no-op beyond the
+    site draw if that site is down); errors are counted, not raised. *)
+
+val gen_report : gen -> report
+
 val run : World.t -> spec -> ops:int -> report
 (** Issue [ops] operations from random sites (skipping crashed ones);
-    errors are counted, not raised. Deterministic under [spec.seed]. *)
+    errors are counted, not raised. Deterministic under [spec.seed].
+    Equivalent to stepping a fresh {!gen} [ops] times then settling. *)

@@ -206,17 +206,29 @@ let mount_filegroups t =
       Mount.add_sharded t.mount ~mount_point:gf ~shard_fgs:fgs)
     t.config.shard_mounts
 
-(* Drain all background activity (propagation pulls, notifications). *)
+(* Drain all background activity (propagation pulls, notifications). A round
+   that exhausts the event budget aborts the drain with [`Limit] — a
+   livelocked schedule (events rescheduling themselves forever) must be
+   reported, not spun on. *)
 let settle ?(limit = 200_000) t =
   let executed = ref 0 in
+  let status = ref `Idle in
   let continue_ = ref true in
   while !continue_ do
-    let n = Engine.run_until_idle ~limit t.engine in
+    let n, st = Engine.run_until_idle ~limit t.engine in
     executed := !executed + n;
-    List.iter (fun k -> if k.K.alive then Locus_core.Propagation.drain k) t.kernels;
-    if Engine.pending t.engine = 0 then continue_ := false
+    if st = `Limit then begin
+      status := `Limit;
+      continue_ := false
+    end
+    else begin
+      List.iter
+        (fun k -> if k.K.alive then Locus_core.Propagation.drain k)
+        t.kernels;
+      if Engine.pending t.engine = 0 then continue_ := false
+    end
   done;
-  !executed
+  (!executed, !status)
 
 (* ---- topology control ---- *)
 

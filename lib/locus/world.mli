@@ -62,9 +62,10 @@ val now : t -> float
 
 (** {1 Driving the simulation} *)
 
-val settle : ?limit:int -> t -> int
+val settle : ?limit:int -> t -> int * [ `Idle | `Limit ]
 (** Drain all background activity (notifications, propagation pulls).
-    Returns the number of events executed. *)
+    Returns the number of events executed, paired with [`Idle] on a clean
+    drain or [`Limit] if any round exhausted its event budget (livelock). *)
 
 (** {1 Topology control} *)
 

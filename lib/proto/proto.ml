@@ -276,6 +276,12 @@ type resp =
            messages until a [Lease_break] arrives. Packs into the same
            flag byte as [nocache], so the wire size is unchanged and the
            [open_lease = false] ablation is byte-identical. *)
+      registered : bool;
+        (* the serving state at [ss] already counts this open (the CSS
+           polled it with [Storage_req], or registered it locally as
+           CSS = SS). False only on the US-is-current shortcut, where the
+           CSS names the US itself without a poll: the US must then create
+           its own serving registration. Packs into the flag byte. *)
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }

@@ -277,6 +277,11 @@ type resp =
             may retain the whole grant across close and re-open with zero
             messages until a [Lease_break] arrives. Packs into the same
             flag byte as [nocache] (wire size unchanged). *)
+      registered : bool;
+        (** the serving state at [ss] already counts this open (storage
+            poll or CSS-local registration). False only on the
+            US-is-current shortcut, where the US must create its own
+            serving registration. Packs into the flag byte. *)
     }
   | R_storage of { accept : bool; info : inode_info option; slot : int }
   | R_page of { data : string; eof : bool }

@@ -94,6 +94,11 @@ let handle_announce k ~members ~css_map =
         else if Site.equal old k.site then Css.drop_fg k fg
       | None -> ())
     css_map;
+  (* SS-side half of the section 5.6 rebuild: serving registrations are
+     revalidated against the members' actual open files, cleaning up
+     state stranded by a lost open reply (the CSS registered the US here,
+     but the US never saw the grant, so no close will ever arrive). *)
+  Ss.revalidate_serving k;
   record k ~tag:"merge.apply"
     (Printf.sprintf "members=[%s]" (String.concat "," (List.map Site.to_string members)));
   Proto.R_ok

@@ -54,7 +54,9 @@ let step t =
     true
 
 let run_until_idle ?(limit = 100_000) t =
-  let rec loop n = if n >= limit then n else if step t then loop (n + 1) else n in
+  let rec loop n =
+    if n >= limit then (n, `Limit) else if step t then loop (n + 1) else (n, `Idle)
+  in
   loop 0
 
 let run_for t dt =

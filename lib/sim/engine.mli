@@ -30,10 +30,13 @@ val parallel : t -> (unit -> unit) list -> unit
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 
-val run_until_idle : ?limit:int -> t -> int
+val run_until_idle : ?limit:int -> t -> int * [ `Idle | `Limit ]
 (** Execute pending events in timestamp order until none remain (or [limit]
-    events have run; default 100_000). Returns the number executed. The clock
-    never moves backwards: events scheduled before [now] execute at [now]. *)
+    events have run; default 100_000). Returns the number executed, paired
+    with [`Idle] when the queue drained or [`Limit] when the event budget was
+    exhausted first — a livelocked schedule (events that keep rescheduling
+    themselves) is therefore detectable, not silent. The clock never moves
+    backwards: events scheduled before [now] execute at [now]. *)
 
 val run_for : t -> float -> int
 (** Execute pending events with timestamps within the next [dt] ms, then

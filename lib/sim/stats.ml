@@ -55,7 +55,12 @@ let mean t name =
   | [] -> 0.0
   | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
-let max_sample t name = List.fold_left Float.max 0.0 (samples t name)
+let max_sample t name =
+  (* Fold from neg_infinity so an all-negative series reports its true
+     maximum; 0.0 is returned only for an empty series. *)
+  match samples t name with
+  | [] -> 0.0
+  | l -> List.fold_left Float.max neg_infinity l
 
 (* ---- histograms ---- *)
 

@@ -28,6 +28,8 @@ val samples : t -> string -> float list
 val count_samples : t -> string -> int
 
 val max_sample : t -> string -> float
+(** Largest recorded sample (correct for all-negative series); 0.0 when no
+    samples have been recorded. *)
 
 (** {1 Histograms}
 

@@ -1,0 +1,33 @@
+(** Global invariant checks over a quiesced world.
+
+    Call {!check} only after every site is back up, the network is healed,
+    the merge protocol has run and the engine has settled: the invariants
+    are statements about a fully-recovered cluster.
+
+    Checked, per §4's reconciliation guarantees and the quiesce contract:
+    every committed write is readable (and identical) at every alive site,
+    or its file is conflict-flagged and at least one copy survives; version
+    vectors of surviving copies are pairwise equal-or-flagged (lattice); no
+    orphan opens, dirty files, write-behind runs, leases, shadow sessions,
+    SS serving registrations, shared descriptors or propagation backlog
+    survive quiesce; CSS lock state is empty; every pack passes fsck;
+    directory create/unlink churn converged identically at all sites. *)
+
+type violation = { v_code : string; v_detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** {1 Durability model}
+
+    Maintained by the driver from {!Locus.Workload.event}s: per path, the
+    body of the last write that definitely committed plus the bodies of
+    later ambiguous attempts (an error at the US does not prove the commit
+    did not execute at the SS). *)
+
+type model
+
+val model_create : unit -> model
+
+val model_wrote : model -> path:string -> body:string -> ok:bool -> unit
+
+val check : Locus.World.t -> model -> violation list

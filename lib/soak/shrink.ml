@@ -1,0 +1,65 @@
+(* Shrink a failing soak scenario to a minimal replayable repro.
+
+   A scenario is fully named by (seed, ops, dropped-fault indices): the
+   schedule and op stream are pure functions of (seed, ops), so replaying
+   the triple replays the identical run. Shrinking alternates two moves
+   until a fixpoint (or the run budget is spent):
+   - halve the operation count while the run still fails;
+   - greedily drop one injected fault at a time, keeping each drop that
+     preserves the failure.
+
+   The result prints as a one-line command for the bench harness's soak
+   subcommand. *)
+
+type scenario = { sc_seed : int; sc_ops : int; sc_drop : int list }
+
+let repro_command sc =
+  Printf.sprintf "dune exec bench/main.exe -- soak --seed %d --ops %d%s"
+    sc.sc_seed sc.sc_ops
+    (match sc.sc_drop with
+    | [] -> ""
+    | l -> " --drop " ^ String.concat "," (List.map string_of_int l))
+
+let min_ops = 50
+
+let shrink ?(budget = 40) ~fails sc =
+  let runs = ref 0 in
+  let try_ scenario =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      fails scenario
+    end
+  in
+  let halve sc =
+    let rec go sc =
+      let ops = sc.sc_ops / 2 in
+      if ops < min_ops then sc
+      else begin
+        (* Halving regenerates the schedule, so fault indices shift: a
+           drop list only makes sense against the ops count it was found
+           at. Reset it and let the fault pass rediscover. *)
+        let cand = { sc with sc_ops = ops; sc_drop = [] } in
+        if try_ cand then go cand else sc
+      end
+    in
+    go sc
+  in
+  let drop_faults sc =
+    let total = Schedule.fault_count (Schedule.generate ~seed:sc.sc_seed ~ops:sc.sc_ops) in
+    let rec go sc i =
+      if i >= total || !runs >= budget then sc
+      else if List.mem i sc.sc_drop then go sc (i + 1)
+      else begin
+        let cand = { sc with sc_drop = List.sort compare (i :: sc.sc_drop) } in
+        if try_ cand then go cand (i + 1) else go sc (i + 1)
+      end
+    in
+    go sc 0
+  in
+  let rec fix sc =
+    let sc' = drop_faults (halve sc) in
+    if sc'.sc_ops = sc.sc_ops && sc'.sc_drop = sc.sc_drop then sc else fix sc'
+  in
+  let final = fix sc in
+  (final, !runs)

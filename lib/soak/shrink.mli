@@ -1,0 +1,17 @@
+(** Shrink a failing soak scenario to a minimal replayable repro.
+
+    A scenario is fully named by [(seed, ops, dropped-fault indices)]:
+    schedule and op stream are pure functions of [(seed, ops)], so the
+    triple replays the identical run. *)
+
+type scenario = { sc_seed : int; sc_ops : int; sc_drop : int list }
+
+val repro_command : scenario -> string
+(** One-line replay command for the bench harness's soak subcommand. *)
+
+val shrink :
+  ?budget:int -> fails:(scenario -> bool) -> scenario -> scenario * int
+(** Alternate op-count halving and greedy fault-dropping until a fixpoint
+    or [budget] replays (default 40). [fails] must return whether the
+    scenario still reproduces the failure. Returns the minimal scenario
+    found and the number of replays spent. *)

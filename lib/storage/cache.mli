@@ -28,11 +28,14 @@ val insert : 'k t -> 'k -> Page.t -> unit
 
 val invalidate : 'k t -> 'k -> unit
 
-val invalidate_if : 'k t -> ('k -> bool) -> unit
+val invalidate_if : 'k t -> notify:bool -> ('k -> bool) -> unit
 (** Drop all entries whose key satisfies the predicate (e.g. every page of
-    a file that just changed version). O(n). *)
+    a file that just changed version). [~notify] selects whether each drop
+    fires [on_evict] (the capacity {!evictions} counter is never bumped);
+    coherence invalidations pass [false] so the eviction counters keep
+    measuring capacity pressure only. O(n). *)
 
-val clear : 'k t -> unit
+val clear : 'k t -> notify:bool -> unit
 
 val length : 'k t -> int
 

@@ -149,13 +149,10 @@ let create t path =
   t.t_writes <- (path, "") :: List.remove_assoc path t.t_writes
 
 let release_locks t =
-  List.iter
-    (fun l ->
-      try
-        Us.abort t.t_kernel l.l_ofile;
-        Us.close t.t_kernel l.l_ofile
-      with K.Error _ -> ())
-    t.t_locks;
+  (* [Us.release] rather than abort-then-close: an abort that raises (the
+     SS died) must not keep the close from running, or the lock handle
+     leaks its serving registration. *)
+  List.iter (fun l -> Us.release t.t_kernel l.l_ofile) t.t_locks;
   t.t_locks <- []
 
 let rec abort t =

@@ -450,6 +450,116 @@ let prop_convergence_despite_message_loss =
           | exception K.Error _ -> false)
         (World.sites w))
 
+(* ---- the two structures the soak harness leans on hardest ---- *)
+
+(* Eheap against an insertion-ordered list model: pop must always return
+   the minimum-time element, earliest-pushed first among ties — the
+   determinism guarantee the whole simulator rests on. Push/pop streams
+   are arbitrary interleavings, long enough to grow the heap's backing
+   array several times; times are drawn from a tiny range to force many
+   ties. *)
+let prop_eheap_matches_model =
+  QCheck.Test.make ~count:200
+    ~name:"eheap: model order — nondecreasing time, FIFO ties, survives grow"
+    QCheck.(
+      make Gen.(list_size (int_range 0 400) (pair (int_bound 8) (int_bound 3))))
+    (fun ops ->
+      let h = Sim.Eheap.create () in
+      (* model: (time, serial) in push order; pop takes the first element
+         holding the minimum time. *)
+      let model = ref [] in
+      let serial = ref 0 in
+      let ok = ref true in
+      let model_pop () =
+        match !model with
+        | [] -> None
+        | (t0, s0) :: tl ->
+          let tmin, smin =
+            List.fold_left
+              (fun (bt, bs) (t, s) -> if t < bt then (t, s) else (bt, bs))
+              (t0, s0) tl
+          in
+          model := List.filter (fun (_, s) -> s <> smin) !model;
+          Some (tmin, smin)
+      in
+      let pop_both () =
+        match (Sim.Eheap.pop h, model_pop ()) with
+        | None, None -> ()
+        | Some (t, s), Some (t', s') -> if t <> t' || s <> s' then ok := false
+        | Some _, None | None, Some _ -> ok := false
+      in
+      List.iter
+        (fun (time, kind) ->
+          if kind = 0 then pop_both ()
+          else begin
+            incr serial;
+            let t = float_of_int time in
+            Sim.Eheap.push h ~time:t !serial;
+            model := !model @ [ (t, !serial) ]
+          end)
+        ops;
+      while not (Sim.Eheap.is_empty h) || !model <> [] do
+        pop_both ()
+      done;
+      !ok && Sim.Eheap.size h = 0)
+
+module Ilru = Storage.Lru.Make (struct
+  type t = int
+
+  let copy x = x
+end)
+
+(* Lru against an MRU-ordered list model with explicit capacity: recency
+   order, hit promotion, refresh-without-eviction, capacity victims (and
+   their on_evict callbacks) must all match the model, and occupancy may
+   never exceed capacity. *)
+let prop_lru_matches_model =
+  QCheck.Test.make ~count:200
+    ~name:"lru: matches MRU-list model, capacity never exceeded"
+    QCheck.(
+      make
+        Gen.(
+          pair (int_range 1 8)
+            (list_size (int_bound 200) (pair (int_bound 12) (int_bound 3)))))
+    (fun (cap, ops) ->
+      let evicted = ref [] in
+      let c =
+        Ilru.create ~on_evict:(fun k -> evicted := k :: !evicted) ~capacity:cap ()
+      in
+      let model = ref [] (* keys, MRU first *) in
+      let model_evicted = ref [] in
+      let ok = ref true in
+      let drop_last l =
+        match List.rev l with
+        | [] -> ([], None)
+        | last :: front -> (List.rev front, Some last)
+      in
+      List.iter
+        (fun (key, op) ->
+          (match op with
+          | 0 | 1 ->
+            Ilru.insert c key key;
+            let m = key :: List.filter (fun k -> k <> key) !model in
+            if List.length m > cap then begin
+              let kept, victim = drop_last m in
+              model := kept;
+              Option.iter (fun v -> model_evicted := v :: !model_evicted) victim
+            end
+            else model := m
+          | 2 -> (
+            let mhit = List.mem key !model in
+            match Ilru.find c key with
+            | Some v ->
+              if (not mhit) || v <> key then ok := false
+              else model := key :: List.filter (fun k -> k <> key) !model
+            | None -> if mhit then ok := false)
+          | _ ->
+            Ilru.invalidate c key;
+            model := List.filter (fun k -> k <> key) !model);
+          if Ilru.length c > cap then ok := false)
+        ops;
+      !ok && Ilru.keys_mru c = !model && !evicted = !model_evicted)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -463,6 +573,8 @@ let props =
       prop_fs_matches_model;
       prop_commits_survive_crashes;
       prop_convergence_despite_message_loss;
+      prop_eheap_matches_model;
+      prop_lru_matches_model;
     ]
 
 let () = Alcotest.run "props" [ ("invariants", props) ]

@@ -118,7 +118,9 @@ let test_resp_sizes () =
     [
       Proto.R_ok;
       Proto.R_err Proto.Enoent;
-      Proto.R_open { ss = 0; info; others = []; nocache = false; slot = 1; lease = false };
+      Proto.R_open
+        { ss = 0; info; others = []; nocache = false; slot = 1; lease = false;
+          registered = true };
       Proto.R_storage { accept = true; info = Some info; slot = 1 };
       Proto.R_page { data = String.make 512 'd'; eof = true };
       Proto.R_committed { vv = vv_small };

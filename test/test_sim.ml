@@ -106,8 +106,9 @@ let test_engine_schedule_order () =
   Engine.schedule e ~delay:10.0 (fun () -> log := "b" :: !log);
   Engine.schedule e ~delay:5.0 (fun () -> log := "a" :: !log);
   Engine.schedule e ~delay:20.0 (fun () -> log := "c" :: !log);
-  let n = Engine.run_until_idle e in
+  let n, status = Engine.run_until_idle e in
   check Alcotest.int "three events" 3 n;
+  check Alcotest.bool "idle" true (status = `Idle);
   check Alcotest.(list string) "order" [ "a"; "b"; "c" ] (List.rev !log);
   check (Alcotest.float 1e-9) "clock at last event" 20.0 (Engine.now e)
 
@@ -174,6 +175,15 @@ let test_stats_series () =
   check Alcotest.(list (float 0.0)) "samples in order" [ 1.0; 2.0; 3.0 ]
     (Stats.samples s "lat")
 
+(* Regression: max_sample used to fold from 0.0, reporting 0.0 for an
+   all-negative series (and making empty indistinguishable from a series
+   whose maximum is zero). *)
+let test_stats_max_negative () =
+  let s = Stats.create () in
+  List.iter (Stats.observe s "skew") [ -5.0; -2.0; -9.0 ];
+  check (Alcotest.float 1e-9) "all-negative max" (-2.0) (Stats.max_sample s "skew");
+  check (Alcotest.float 1e-9) "empty series is 0" 0.0 (Stats.max_sample s "none")
+
 (* ---- trace ---- *)
 
 let test_trace_roundtrip () =
@@ -227,6 +237,7 @@ let () =
           Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "snapshot delta" `Quick test_stats_snapshot_delta;
           Alcotest.test_case "series" `Quick test_stats_series;
+          Alcotest.test_case "max of negatives" `Quick test_stats_max_negative;
         ] );
       ( "trace",
         [
