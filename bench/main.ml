@@ -90,7 +90,116 @@ let micro_tests () =
     dir_codec;
   ]
 
+(* ---- event-core micro suite (BENCH_micro.json) ---- *)
+
+(* Steady-state scheduler churn: preload the heap to a fixed depth, then
+   pop-one/push-one for [iters] events, the hold pattern a running
+   simulation keeps the queue in. Time increments come from a precomputed
+   float array so the measured loop allocates nothing beyond what the
+   heap under test allocates (plus the one boxed float the non-flambda
+   call boundary charges both heaps equally). Reports host events/sec
+   and minor words per event. *)
+let n_incs = 4096
+
+let make_incs () =
+  let rng = Sim.Rng.create 0x10adL in
+  Array.init n_incs (fun _ -> Sim.Rng.float rng 10.0)
+
+let churn_old ~preload ~iters =
+  let h = Oldheap.create () in
+  let incs = make_incs () in
+  for i = 0 to preload - 1 do
+    Oldheap.push h ~time:incs.(i land (n_incs - 1)) ()
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    let time =
+      match Oldheap.pop h with Some (time, ()) -> time | None -> assert false
+    in
+    Oldheap.push h ~time:(time +. incs.(i land (n_incs - 1))) ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (float_of_int iters /. dt, words /. float_of_int iters)
+
+let churn_new ~preload ~iters =
+  let h = Sim.Eheap.create () in
+  let incs = make_incs () in
+  let scratch = [| 0.0 |] in
+  for i = 0 to preload - 1 do
+    Sim.Eheap.push h ~time:incs.(i land (n_incs - 1)) ()
+  done;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    Sim.Eheap.pop_into h ~time:scratch;
+    Sim.Eheap.push h ~time:(scratch.(0) +. incs.(i land (n_incs - 1))) ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (float_of_int iters /. dt, words /. float_of_int iters)
+
+(* Whole-engine churn: a self-rescheduling thunk, i.e. schedule + step +
+   dispatch per event. There is no old engine to race it against; the
+   metric pins the end-to-end cost of one simulated event. *)
+let churn_engine ~iters =
+  let e = Sim.Engine.create ~seed:7L () in
+  let n = ref 0 in
+  let rec tick () =
+    if !n < iters then begin
+      incr n;
+      Sim.Engine.schedule e ~delay:1.0 tick
+    end
+  in
+  Sim.Engine.schedule e ~delay:1.0 tick;
+  Gc.minor ();
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  ignore (Sim.Engine.run_until_idle ~limit:(iters + 8) e);
+  let dt = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. w0 in
+  (float_of_int iters /. dt, words /. float_of_int iters)
+
+let run_heap_micro () =
+  let metric = Report.metric ~experiment:"micro" in
+  Printf.printf "\n== event-core micro suite ==\n%!";
+  let iters = 400_000 in
+  Printf.printf "  %-34s %12s %12s\n" "scheduler churn (pop+push)"
+    "events/sec" "words/event";
+  let speedups =
+    List.map
+      (fun preload ->
+        (* one throwaway round to warm the code paths, then measure *)
+        ignore (churn_old ~preload ~iters:(iters / 8));
+        ignore (churn_new ~preload ~iters:(iters / 8));
+        let old_eps, old_wpe = churn_old ~preload ~iters in
+        let new_eps, new_wpe = churn_new ~preload ~iters in
+        metric (Printf.sprintf "heap.old.events_per_sec.d%d" preload) old_eps;
+        metric (Printf.sprintf "heap.old.words_per_event.d%d" preload) old_wpe;
+        metric (Printf.sprintf "heap.new.events_per_sec.d%d" preload) new_eps;
+        metric (Printf.sprintf "heap.new.words_per_event.d%d" preload) new_wpe;
+        Printf.printf "  old heap, depth %-6d %25.0f %12.1f\n%!" preload old_eps
+          old_wpe;
+        Printf.printf "  new heap, depth %-6d %25.0f %12.1f\n%!" preload new_eps
+          new_wpe;
+        new_eps /. old_eps)
+      [ 1_024; 65_536 ]
+  in
+  let speedup = List.fold_left max 0.0 speedups in
+  metric "heap.speedup" speedup;
+  Printf.printf "  heap speedup (best depth): %.1fx (need >= 3x): %s\n" speedup
+    (Report.check (speedup >= 3.0));
+  let eng_eps, eng_wpe = churn_engine ~iters:200_000 in
+  metric "engine.events_per_sec" eng_eps;
+  metric "engine.words_per_event" eng_wpe;
+  Printf.printf "  engine step+dispatch: %.0f events/sec, %.1f words/event\n%!"
+    eng_eps eng_wpe
+
 let run_micro () =
+  run_heap_micro ();
   let open Bechamel in
   Printf.printf "\n== Bechamel micro-benchmarks (host CPU) ==\n%!";
   let tests = micro_tests () in

@@ -558,6 +558,11 @@ let read_all k o =
   if o.o_info.Proto.i_size > 0 || Site.equal o.o_ss k.site then loop 0;
   Buffer.contents buf
 
+(* One page of zeroes, shared by every sparse/short-page gap below: a gap
+   never exceeds the page size, so [Buffer.add_substring] of this covers
+   any gap without allocating a fresh string per hole. *)
+let blank_page = String.make Page.size '\000'
+
 (* Read up to [len] bytes starting at byte [off] (fd-style read). *)
 let read_bytes k o ~off ~len =
   if len <= 0 then ""
@@ -577,7 +582,7 @@ let read_bytes k o ~off ~len =
              returning short data. *)
           let page_room = Page.size - poff in
           let gap = min (remaining - take) (page_room - avail) in
-          if gap > 0 then Buffer.add_string buf (String.make gap '\000');
+          if gap > 0 then Buffer.add_substring buf blank_page 0 gap;
           loop (abs + take + gap) (remaining - take - gap)
         end
       end

@@ -1,0 +1,45 @@
+(* Zipfian sampler over ranks 0..n-1 by inverse-CDF lookup.
+
+   The CDF is precomputed once (O(n)); each sample is one RNG draw plus a
+   binary search (O(log n)) and allocates nothing — the flood generator
+   draws from it millions of times. Rank r carries weight 1/(r+1)^s, so
+   rank 0 is the most popular item; s = 0 degenerates to uniform. *)
+
+module Rng = Sim.Rng
+
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (i + 1) ** s));
+    cdf.(i) <- !acc
+  done;
+  let total = cdf.(n - 1) in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { n; s; cdf }
+
+let n t = t.n
+
+let s t = t.s
+
+let pmf t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if rank = 0 then t.cdf.(0) else t.cdf.(rank) -. t.cdf.(rank - 1)
+
+(* Smallest rank whose CDF exceeds the draw. The draw is in [0,1); the
+   last CDF entry is 1.0, so the search cannot fall off the end. *)
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let cdf = t.cdf in
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if cdf.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  !lo

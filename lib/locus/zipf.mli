@@ -1,0 +1,24 @@
+(** Zipfian popularity sampler.
+
+    Rank [r] (0-based) is drawn with probability proportional to
+    [1/(r+1)^s]: rank 0 is the hottest item, and [s = 0] degenerates to a
+    uniform distribution. The CDF is precomputed at {!create}; each
+    {!sample} is one RNG draw plus a binary search and allocates nothing,
+    so the flood workload can draw from it per operation. Deterministic:
+    the sampled stream is a pure function of the {!Sim.Rng} state. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over ranks [0..n-1] with exponent
+    [s]. Raises [Invalid_argument] when [n <= 0] or [s < 0]. *)
+
+val n : t -> int
+
+val s : t -> float
+
+val sample : t -> Sim.Rng.t -> int
+(** Draw one rank in [0..n-1]. *)
+
+val pmf : t -> int -> float
+(** Probability of a rank; nonincreasing in the rank by construction. *)

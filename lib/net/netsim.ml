@@ -7,6 +7,32 @@ let pp_failure ppf = function
   | Request_lost -> Format.pp_print_string ppf "request-lost"
   | Reply_lost -> Format.pp_print_string ppf "reply-lost"
 
+(* Pre-resolved per-tag stat handles, shared by this layer and {!Rpc}:
+   the message layer used to build ["net.msg." ^ tag] (and the transport
+   ["rpc.latency." ^ tag] etc.) on every call — a string allocation and
+   hash per message. Tags are a small static set (one per protocol message
+   class), so each resolves to this record once and is then hash-free. *)
+type tag_stats = {
+  ts_msg : Stats.counter option; (* net.msg.<tag>; None for untagged *)
+  ts_latency : Stats.histogram;  (* rpc.latency.<tag> *)
+  ts_bytes : Stats.histogram;    (* rpc.bytes.<tag> *)
+  ts_retry : Stats.counter;      (* rpc.retry.<tag> *)
+}
+
+(* The transport stack's fixed counters, resolved once per network. *)
+type hot_stats = {
+  hs_msg : Stats.counter;           (* net.msg *)
+  hs_bytes : Stats.counter;         (* net.bytes *)
+  hs_send_err : Stats.counter;      (* net.send.err *)
+  hs_circuit_open : Stats.counter;  (* net.circuit.open *)
+  hs_circuit_close : Stats.counter; (* net.circuit.close *)
+  hs_rpc_call : Stats.counter;      (* rpc.call *)
+  hs_rpc_send : Stats.counter;      (* rpc.send *)
+  hs_rpc_retry : Stats.counter;     (* rpc.retry *)
+  hs_rpc_recovered : Stats.counter; (* rpc.recovered *)
+  hs_rpc_fail : Stats.counter;      (* rpc.fail *)
+}
+
 type ('req, 'resp) t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -19,9 +45,24 @@ type ('req, 'resp) t = {
   mutable error_resp : 'resp -> bool;
       (* classifies handler responses that signal an error, so that {!send}
          can count the ones it silently discards *)
+  hot : hot_stats;
+  tags : (string, tag_stats) Hashtbl.t;
+  mutable untagged : tag_stats option;
+      (* lazy: created on the first untagged call, so the "untagged"
+         histograms don't appear in reports that never used them *)
 }
 
+let make_tag_stats ?(count_msg = true) stats tag =
+  {
+    ts_msg =
+      (if count_msg then Some (Stats.counter stats ("net.msg." ^ tag)) else None);
+    ts_latency = Stats.histogram stats ("rpc.latency." ^ tag);
+    ts_bytes = Stats.histogram stats ("rpc.bytes." ^ tag);
+    ts_retry = Stats.counter stats ("rpc.retry." ^ tag);
+  }
+
 let create engine topo latency =
+  let stats = Engine.stats engine in
   {
     engine;
     topo;
@@ -32,6 +73,21 @@ let create engine topo latency =
     forced_failures = [];
     failure_observers = [];
     error_resp = (fun _ -> false);
+    hot =
+      {
+        hs_msg = Stats.counter stats "net.msg";
+        hs_bytes = Stats.counter stats "net.bytes";
+        hs_send_err = Stats.counter stats "net.send.err";
+        hs_circuit_open = Stats.counter stats "net.circuit.open";
+        hs_circuit_close = Stats.counter stats "net.circuit.close";
+        hs_rpc_call = Stats.counter stats "rpc.call";
+        hs_rpc_send = Stats.counter stats "rpc.send";
+        hs_rpc_retry = Stats.counter stats "rpc.retry";
+        hs_rpc_recovered = Stats.counter stats "rpc.recovered";
+        hs_rpc_fail = Stats.counter stats "rpc.fail";
+      };
+    tags = Hashtbl.create 64;
+    untagged = None;
   }
 
 let engine t = t.engine
@@ -39,6 +95,27 @@ let engine t = t.engine
 let topology t = t.topo
 
 let latency t = t.latency
+
+let hot_stats t = t.hot
+
+let tag_stats t tag =
+  match Hashtbl.find_opt t.tags tag with
+  | Some ts -> ts
+  | None ->
+    let ts = make_tag_stats (Engine.stats t.engine) tag in
+    Hashtbl.add t.tags tag ts;
+    ts
+
+(* The untagged sentinel never counts a per-tag message (direct untagged
+   [call]/[send] never did); it carries real "untagged" transport
+   histograms because that is the default tag {!Rpc.call} reports under. *)
+let untagged_ts t =
+  match t.untagged with
+  | Some ts -> ts
+  | None ->
+    let ts = make_tag_stats ~count_msg:false (Engine.stats t.engine) "untagged" in
+    t.untagged <- Some ts;
+    ts
 
 let set_handler t site f = t.handlers <- Site.Map.add site f t.handlers
 
@@ -58,14 +135,14 @@ let open_circuit t a b =
   let key = circuit_key a b in
   if not (Hashtbl.mem t.circuits key) then begin
     Hashtbl.add t.circuits key ();
-    Stats.incr (Engine.stats t.engine) "net.circuit.open"
+    Stats.cincr t.hot.hs_circuit_open
   end
 
 let close_circuit t ~observer ~peer =
   let key = circuit_key observer peer in
   if Hashtbl.mem t.circuits key then begin
     Hashtbl.remove t.circuits key;
-    Stats.incr (Engine.stats t.engine) "net.circuit.close"
+    Stats.cincr t.hot.hs_circuit_close
   end;
   List.iter (fun f -> f observer peer) t.failure_observers
 
@@ -93,15 +170,12 @@ let message_delivered t ~src ~dst =
   else if t.drop_prob > 0.0 && Sim.Rng.float (Engine.rng t.engine) 1.0 < t.drop_prob then false
   else true
 
-let account t ?tag ~bytes () =
-  let stats = Engine.stats t.engine in
-  Stats.incr stats "net.msg";
-  Stats.add stats "net.bytes" bytes;
-  match tag with
-  | Some tag -> Stats.incr stats ("net.msg." ^ tag)
-  | None -> ()
+let account t ~ts ~bytes =
+  Stats.cincr t.hot.hs_msg;
+  Stats.cadd t.hot.hs_bytes bytes;
+  match ts.ts_msg with Some c -> Stats.cincr c | None -> ()
 
-let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
+let call_tagged t ~ts ~src ~dst ~req_bytes ~resp_bytes req =
   if Site.equal src dst then begin
     Engine.charge t.engine t.latency.Latency.local_call;
     Ok ((handler_of t dst) ~src req)
@@ -113,7 +187,7 @@ let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
       Error Request_lost
     end
     else begin
-      account t ?tag ~bytes:req_bytes ();
+      account t ~ts ~bytes:req_bytes;
       Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:req_bytes);
       let resp = (handler_of t dst) ~src req in
       if not (message_delivered t ~src:dst ~dst:src) then begin
@@ -122,32 +196,40 @@ let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
       end
       else begin
         let rbytes = resp_bytes resp in
-        account t ?tag ~bytes:rbytes ();
+        account t ~ts ~bytes:rbytes;
         Engine.charge t.engine (Latency.msg_cost t.latency ~bytes:rbytes);
         Ok resp
       end
     end
   end
 
+let call t ?tag ~src ~dst ~req_bytes ~resp_bytes req =
+  let ts = match tag with Some tag -> tag_stats t tag | None -> untagged_ts t in
+  call_tagged t ~ts ~src ~dst ~req_bytes ~resp_bytes req
+
 (* Run a one-way message's handler, counting discarded error responses:
    {!send} has nobody to give them to. *)
 let deliver_oneway t ~src ~dst req =
   let resp = (handler_of t dst) ~src req in
-  if t.error_resp resp then Stats.incr (Engine.stats t.engine) "net.send.err"
+  if t.error_resp resp then Stats.cincr t.hot.hs_send_err
 
-let send t ?tag ~src ~dst ~bytes req =
+let send_tagged t ~ts ~src ~dst ~bytes req =
   if Site.equal src dst then
     Engine.schedule t.engine ~delay:t.latency.Latency.local_call (fun () ->
         deliver_oneway t ~src ~dst req)
   else begin
     open_circuit t src dst;
-    account t ?tag ~bytes ();
+    account t ~ts ~bytes;
     let delay = Latency.msg_cost t.latency ~bytes in
     Engine.schedule t.engine ~delay (fun () ->
         if message_delivered t ~src ~dst then deliver_oneway t ~src ~dst req
         else close_circuit t ~observer:src ~peer:dst)
   end
 
-let messages_sent t = Stats.get (Engine.stats t.engine) "net.msg"
+let send t ?tag ~src ~dst ~bytes req =
+  let ts = match tag with Some tag -> tag_stats t tag | None -> untagged_ts t in
+  send_tagged t ~ts ~src ~dst ~bytes req
 
-let bytes_sent t = Stats.get (Engine.stats t.engine) "net.bytes"
+let messages_sent t = Stats.cget t.hot.hs_msg
+
+let bytes_sent t = Stats.cget t.hot.hs_bytes

@@ -30,6 +30,44 @@ val pp_failure : Format.formatter -> failure -> unit
 
 val create : Sim.Engine.t -> Topology.t -> Latency.t -> ('req, 'resp) t
 
+(** {1 Pre-resolved stat handles}
+
+    Message accounting used to build counter names (["net.msg." ^ tag],
+    ["rpc.latency." ^ tag], ...) on every message — a string allocation
+    and hash per event on the delivery path. Tags form a small static set
+    (one per protocol message class, {!Proto.req_tag}), so the network
+    interns one handle record per tag and the fixed global counters once
+    per network; {!Rpc} and the hot entry points below then update cells
+    directly. *)
+
+type tag_stats = {
+  ts_msg : Sim.Stats.counter option;
+      (** ["net.msg.<tag>"]; [None] on the untagged sentinel, which counts
+          no per-tag messages (untagged calls never did) *)
+  ts_latency : Sim.Stats.histogram;  (** ["rpc.latency.<tag>"] *)
+  ts_bytes : Sim.Stats.histogram;    (** ["rpc.bytes.<tag>"] *)
+  ts_retry : Sim.Stats.counter;      (** ["rpc.retry.<tag>"] *)
+}
+
+val tag_stats : ('req, 'resp) t -> string -> tag_stats
+(** The interned handle record for a tag, created on first use. *)
+
+type hot_stats = {
+  hs_msg : Sim.Stats.counter;
+  hs_bytes : Sim.Stats.counter;
+  hs_send_err : Sim.Stats.counter;
+  hs_circuit_open : Sim.Stats.counter;
+  hs_circuit_close : Sim.Stats.counter;
+  hs_rpc_call : Sim.Stats.counter;
+  hs_rpc_send : Sim.Stats.counter;
+  hs_rpc_retry : Sim.Stats.counter;
+  hs_rpc_recovered : Sim.Stats.counter;
+  hs_rpc_fail : Sim.Stats.counter;
+}
+
+val hot_stats : ('req, 'resp) t -> hot_stats
+(** The transport stack's fixed counters, resolved at {!create}. *)
+
 val engine : ('req, 'resp) t -> Sim.Engine.t
 
 val topology : ('req, 'resp) t -> Topology.t
@@ -58,6 +96,28 @@ val call :
     messages, and cannot fail. Otherwise it counts two messages (request
     and response) and charges their wire cost. On failure the circuit is
     closed (observers run) and the typed failure is returned. *)
+
+val call_tagged :
+  ('req, 'resp) t ->
+  ts:tag_stats ->
+  src:Site.t ->
+  dst:Site.t ->
+  req_bytes:int ->
+  resp_bytes:('resp -> int) ->
+  'req ->
+  ('resp, failure) result
+(** {!call} with the tag already resolved to its handles — the hash-free
+    entry point {!Rpc.call} uses. *)
+
+val send_tagged :
+  ('req, 'resp) t ->
+  ts:tag_stats ->
+  src:Site.t ->
+  dst:Site.t ->
+  bytes:int ->
+  'req ->
+  unit
+(** {!send} with the tag already resolved to its handles. *)
 
 val send :
   ('req, 'resp) t ->

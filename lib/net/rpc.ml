@@ -46,28 +46,39 @@ let call net ?(policy = default_policy) ?(tag = "untagged") ~src ~dst ~req_bytes
   let engine = Netsim.engine net in
   let stats = Engine.stats engine in
   let trace = Engine.trace engine in
-  Stats.incr stats "rpc.call";
+  (* One hash interns every per-tag handle; the fixed counters were
+     resolved when the network was built. Nothing below hashes a name. *)
+  let ts = Netsim.tag_stats net tag in
+  let hot = Netsim.hot_stats net in
+  Stats.cincr hot.Netsim.hs_rpc_call;
   let start = Engine.now engine in
+  (* Span formatting is the costliest per-call allocation; skip it (and
+     the span) entirely when the trace is off — flood-scale runs are. *)
   let span =
-    Trace.span_begin trace ~time:start ~tag:"rpc"
-      (Format.asprintf "%s %a->%a" tag Site.pp src Site.pp dst)
+    if Trace.recording trace then
+      Some
+        (Trace.span_begin trace ~time:start ~tag:"rpc"
+           (Format.asprintf "%s %a->%a" tag Site.pp src Site.pp dst))
+    else None
   in
   let finish outcome result =
     let now = Engine.now engine in
-    Trace.span_end trace ~time:now span outcome;
-    Stats.hist_observe stats ("rpc.latency." ^ tag) (now -. start);
+    (match span with
+    | Some span -> Trace.span_end trace ~time:now span outcome
+    | None -> ());
+    Stats.hobserve ts.Netsim.ts_latency (now -. start);
     result
   in
   let fail kind err =
-    Stats.incr stats "rpc.fail";
+    Stats.cincr hot.Netsim.hs_rpc_fail;
     Stats.incr stats ("rpc.fail." ^ kind);
     finish kind (Error err)
   in
   let rec attempt n =
-    match Netsim.call net ~tag ~src ~dst ~req_bytes ~resp_bytes req with
+    match Netsim.call_tagged net ~ts ~src ~dst ~req_bytes ~resp_bytes req with
     | Ok resp ->
-      Stats.hist_observe stats ("rpc.bytes." ^ tag) (float_of_int (req_bytes + resp_bytes resp));
-      if n > 1 then Stats.incr stats "rpc.recovered";
+      Stats.hobserve ts.Netsim.ts_bytes (float_of_int (req_bytes + resp_bytes resp));
+      if n > 1 then Stats.cincr hot.Netsim.hs_rpc_recovered;
       finish "ok" (Ok resp)
     | Error failure ->
       if (not policy.idempotent) || n >= policy.max_attempts then
@@ -80,8 +91,8 @@ let call net ?(policy = default_policy) ?(tag = "untagged") ~src ~dst ~req_bytes
         if policy.timeout > 0.0 && waited +. delay > policy.timeout then
           fail "timeout" (Timeout { src; dst; attempts = n; waited })
         else begin
-          Stats.incr stats "rpc.retry";
-          Stats.incr stats ("rpc.retry." ^ tag);
+          Stats.cincr hot.Netsim.hs_rpc_retry;
+          Stats.cincr ts.Netsim.ts_retry;
           Engine.charge engine delay;
           attempt (n + 1)
         end
@@ -90,5 +101,7 @@ let call net ?(policy = default_policy) ?(tag = "untagged") ~src ~dst ~req_bytes
   attempt 1
 
 let send net ?tag ~src ~dst ~bytes req =
-  Stats.incr (Engine.stats (Netsim.engine net)) "rpc.send";
-  Netsim.send net ?tag ~src ~dst ~bytes req
+  Stats.cincr (Netsim.hot_stats net).Netsim.hs_rpc_send;
+  match tag with
+  | Some tag -> Netsim.send_tagged net ~ts:(Netsim.tag_stats net tag) ~src ~dst ~bytes req
+  | None -> Netsim.send net ~src ~dst ~bytes req

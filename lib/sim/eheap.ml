@@ -1,73 +1,157 @@
-type 'a entry = { time : float; seq : int; payload : 'a }
+(* Unboxed 4-ary min-heap: the scheduler's hot path.
+
+   The original implementation kept one ['a entry option array] and paid a
+   boxed [Some {time; seq; payload}] record per push plus a [(time, payload)]
+   tuple per pop — four-plus minor-heap allocations per event. At the
+   millions-of-events-per-second the flood workload targets that allocation
+   (and the pointer chasing it forces on every comparison) dominates the
+   scheduler. This layout stores the three fields in parallel arrays — a
+   flat [float array] for times (unboxed storage, so comparisons never
+   dereference), an [int array] for the FIFO tie-break sequence, and an
+   ['a array] for payloads — and sifts a 4-ary tree, halving the depth of a
+   binary heap. [push] and [pop_into] allocate nothing (amortized; growth
+   doubles the arrays).
+
+   Determinism: ordering is the strict total order (time, seq), identical
+   to the old heap's, and a heap pop always returns the minimum of a total
+   order regardless of arity or internal layout — so pop order, and with it
+   every seeded simulation, is bit-identical to the boxed binary heap's. *)
 
 type 'a t = {
-  mutable arr : 'a entry option array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable pays : 'a array; (* empty until the first push donates a filler *)
   mutable len : int;
   mutable next_seq : int;
+  mutable filler : 'a option;
+      (* pads free payload slots so popped events are not retained; holds
+         the first payload ever pushed (one value kept alive, documented) *)
 }
 
-let create () = { arr = Array.make 64 None; len = 0; next_seq = 0 }
+let initial_capacity = 64
+
+let create () =
+  {
+    times = Array.make initial_capacity 0.0;
+    seqs = Array.make initial_capacity 0;
+    pays = [||];
+    len = 0;
+    next_seq = 0;
+    filler = None;
+  }
 
 let is_empty t = t.len = 0
 
 let size t = t.len
 
+let fill_value t = match t.filler with Some v -> v | None -> assert false
+
 let clear t =
-  Array.fill t.arr 0 (Array.length t.arr) None;
+  if t.len > 0 then Array.fill t.pays 0 t.len (fill_value t);
   t.len <- 0
 
-let get t i =
-  match t.arr.(i) with
-  | Some e -> e
-  | None -> assert false
-
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* (time, seq) strict order between two occupied slots. The float loads
+   stay unboxed: [times] is a flat float array. *)
+let before (times : float array) (seqs : int array) i j =
+  let ti = times.(i) and tj = times.(j) in
+  ti < tj || (ti = tj && seqs.(i) < seqs.(j))
 
 let swap t i j =
-  let tmp = t.arr.(i) in
-  t.arr.(i) <- t.arr.(j);
-  t.arr.(j) <- tmp
+  let times = t.times and seqs = t.seqs and pays = t.pays in
+  let ft = times.(i) in
+  times.(i) <- times.(j);
+  times.(j) <- ft;
+  let s = seqs.(i) in
+  seqs.(i) <- seqs.(j);
+  seqs.(j) <- s;
+  let p = pays.(i) in
+  pays.(i) <- pays.(j);
+  pays.(j) <- p
 
 let rec sift_up t i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before (get t i) (get t parent) then begin
+    let parent = (i - 1) lsr 2 in
+    if before t.times t.seqs i parent then begin
       swap t i parent;
       sift_up t parent
     end
   end
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && before (get t l) (get t !smallest) then smallest := l;
-  if r < t.len && before (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+let rec sift_down t n i =
+  let base = (i lsl 2) + 1 in
+  if base < n then begin
+    let times = t.times and seqs = t.seqs in
+    (* smallest of up to four children *)
+    let b = base in
+    let c = base + 1 in
+    let b = if c < n && before times seqs c b then c else b in
+    let c = base + 2 in
+    let b = if c < n && before times seqs c b then c else b in
+    let c = base + 3 in
+    let b = if c < n && before times seqs c b then c else b in
+    if before times seqs b i then begin
+      swap t i b;
+      sift_down t n b
+    end
   end
 
 let grow t =
-  let arr = Array.make (2 * Array.length t.arr) None in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0.0 in
+  Array.blit t.times 0 times 0 t.len;
+  t.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.len;
+  t.seqs <- seqs;
+  let pays = Array.make cap (fill_value t) in
+  Array.blit t.pays 0 pays 0 t.len;
+  t.pays <- pays
 
 let push t ~time payload =
-  if t.len = Array.length t.arr then grow t;
-  t.arr.(t.len) <- Some { time; seq = t.next_seq; payload };
+  if Array.length t.pays = 0 then begin
+    (* First push: the payload arrays materialize now, using this payload
+       as the filler for free slots. *)
+    t.pays <- Array.make (Array.length t.times) payload;
+    t.filler <- Some payload
+  end
+  else if t.len = Array.length t.times then grow t;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.pays.(i) <- payload;
   t.next_seq <- t.next_seq + 1;
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  t.len <- i + 1;
+  sift_up t i
+
+(* Remove the root; shared by the boxed and unboxed pop entry points.
+   The caller has read whatever it needs from slot 0. *)
+let remove_top t =
+  let top = t.pays.(0) in
+  let n = t.len - 1 in
+  t.len <- n;
+  if n > 0 then begin
+    t.times.(0) <- t.times.(n);
+    t.seqs.(0) <- t.seqs.(n);
+    t.pays.(0) <- t.pays.(n);
+    sift_down t n 0
+  end;
+  t.pays.(n) <- fill_value t;
+  top
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = get t 0 in
-    t.len <- t.len - 1;
-    t.arr.(0) <- t.arr.(t.len);
-    t.arr.(t.len) <- None;
-    if t.len > 0 then sift_down t 0;
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    Some (time, remove_top t)
   end
 
-let peek_time t = if t.len = 0 then None else Some (get t 0).time
+let pop_into t ~time =
+  assert (t.len > 0);
+  time.(0) <- t.times.(0);
+  remove_top t
+
+let top_time t =
+  assert (t.len > 0);
+  t.times.(0)
+
+let peek_time t = if t.len = 0 then None else Some t.times.(0)

@@ -1,7 +1,17 @@
-(** Binary min-heap of timestamped events.
+(** Unboxed 4-ary min-heap of timestamped events.
 
     Ties on the timestamp are broken by insertion order, which keeps the
-    simulator deterministic when many events fire at the same instant. *)
+    simulator deterministic when many events fire at the same instant.
+
+    The layout is allocation-lean: times live in a flat [float array]
+    (unboxed storage), tie-break sequence numbers in an [int array], and
+    payloads in a parallel ['a array], so {!push} and {!pop_into} allocate
+    nothing on the steady state. Pop order is the minimum of the strict
+    total order [(time, seq)] and therefore bit-identical to the previous
+    boxed binary heap — seeded runs replay unchanged.
+
+    One payload reference (the first ever pushed) is retained for the
+    heap's lifetime as the filler for free slots. *)
 
 type 'a t
 
@@ -14,7 +24,16 @@ val size : 'a t -> int
 val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event, or [None] when empty. *)
+(** Remove and return the earliest event, or [None] when empty. Allocates
+    the result pair; the engine's hot loop uses {!pop_into} instead. *)
+
+val pop_into : 'a t -> time:float array -> 'a
+(** Remove the earliest event, writing its timestamp into [time.(0)] (a
+    one-element scratch cell, so the float never boxes) and returning the
+    payload. The heap must not be empty — guard with {!is_empty}. *)
+
+val top_time : 'a t -> float
+(** Timestamp of the earliest event. The heap must not be empty. *)
 
 val peek_time : 'a t -> float option
 

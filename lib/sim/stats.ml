@@ -17,6 +17,11 @@ let create () =
     hists = Hashtbl.create 16;
   }
 
+(* A counter handle IS the underlying cell: resolving it once (one string
+   hash) lets a hot path increment with a single memory write. The string
+   API below stays for reports and cold paths. *)
+type counter = int ref
+
 let counter t name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r
@@ -24,6 +29,12 @@ let counter t name =
     let r = ref 0 in
     Hashtbl.add t.counters name r;
     r
+
+let cincr (c : counter) = Stdlib.incr c
+
+let cadd (c : counter) n = c := !c + n
+
+let cget (c : counter) = !c
 
 let incr t name = Stdlib.incr (counter t name)
 
@@ -64,6 +75,10 @@ let max_sample t name =
 
 (* ---- histograms ---- *)
 
+(* Histogram handles, like counter handles: resolve the name once, then
+   every observation is an array store. *)
+type histogram = hist
+
 let hist t name =
   match Hashtbl.find_opt t.hists name with
   | Some h -> h
@@ -72,8 +87,9 @@ let hist t name =
     Hashtbl.add t.hists name h;
     h
 
-let hist_observe t name v =
-  let h = hist t name in
+let histogram = hist
+
+let hobserve (h : histogram) v =
   if h.h_len = Array.length h.h_data then begin
     let bigger = Array.make (2 * h.h_len) 0.0 in
     Array.blit h.h_data 0 bigger 0 h.h_len;
@@ -82,6 +98,8 @@ let hist_observe t name v =
   h.h_data.(h.h_len) <- v;
   h.h_len <- h.h_len + 1;
   h.h_sorted <- h.h_sorted && (h.h_len < 2 || h.h_data.(h.h_len - 2) <= v)
+
+let hist_observe t name v = hobserve (hist t name) v
 
 let ensure_sorted h =
   if not h.h_sorted then begin
@@ -149,19 +167,24 @@ let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-type snapshot = (string * int) list
+(* A snapshot is a hashtable, not an assoc list: [delta] compares every
+   live counter against it, and with the flood experiment's counter sets
+   (hundreds of names) the old [List.assoc] per counter made reporting
+   O(n^2). *)
+type snapshot = (string, int) Hashtbl.t
 
-let snapshot t = counters t
+let snapshot t =
+  let snap = Hashtbl.create (max 16 (Hashtbl.length t.counters)) in
+  Hashtbl.iter (fun name r -> Hashtbl.replace snap name !r) t.counters;
+  snap
+
+let old_of snap name =
+  match Hashtbl.find_opt snap name with Some v -> v | None -> 0
 
 let delta t snap =
-  let old name =
-    match List.assoc_opt name snap with Some v -> v | None -> 0
-  in
   counters t
   |> List.filter_map (fun (name, v) ->
-         let d = v - old name in
+         let d = v - old_of snap name in
          if d = 0 then None else Some (name, d))
 
-let delta_of t snap name =
-  let old = match List.assoc_opt name snap with Some v -> v | None -> 0 in
-  get t name - old
+let delta_of t snap name = get t name - old_of snap name

@@ -16,6 +16,26 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** Value of the named counter (0 if never touched). *)
 
+(** {1 Pre-resolved handles}
+
+    [incr]/[add]/[hist_observe] hash their name string on every call. Hot
+    paths (the event core, the network delivery path, the flood workload's
+    per-operation accounting) resolve a handle once and then pay a single
+    memory write per update. The string API remains the interface for
+    reports and cold paths; both views update the same cells. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** The named counter's cell, creating it at zero. One string hash; every
+    later {!cincr}/{!cadd} through the handle is hash-free. *)
+
+val cincr : counter -> unit
+
+val cadd : counter -> int -> unit
+
+val cget : counter -> int
+
 val observe : t -> string -> float -> unit
 (** Record one sample of the named series. *)
 
@@ -40,6 +60,15 @@ val max_sample : t -> string -> float
 
 val hist_observe : t -> string -> float -> unit
 (** Record one sample in the named histogram. *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+(** Pre-resolved histogram handle (see {!counter}): the named histogram,
+    created empty if it does not exist. *)
+
+val hobserve : histogram -> float -> unit
+(** Record one sample through a handle, without hashing the name. *)
 
 val hist_count : t -> string -> int
 (** Samples recorded in the named histogram (0 if never touched). *)
@@ -74,6 +103,8 @@ val counters : t -> (string * int) list
 type snapshot
 
 val snapshot : t -> snapshot
+(** Hash-indexed copy of every counter's current value; {!delta} against
+    it costs O(counters), independent of the snapshot's size. *)
 
 val delta : t -> snapshot -> (string * int) list
 (** Counter deltas since [snapshot], restricted to counters that changed. *)

@@ -5,18 +5,28 @@ type t = {
   mutable items : event list; (* newest first *)
   mutable live : int;         (* length of [items] *)
   mutable total : int;        (* events ever recorded, including truncated *)
+  mutable recording : bool;
+      (* false = drop events at the door; flood-scale runs switch the
+         trace off so the per-event record/format cost disappears *)
 }
 
-let create ?(capacity = 4096) () = { capacity; items = []; live = 0; total = 0 }
+let create ?(capacity = 4096) () =
+  { capacity; items = []; live = 0; total = 0; recording = true }
+
+let recording t = t.recording
+
+let set_recording t on = t.recording <- on
 
 let record t ~time ~tag detail =
-  t.items <- { time; tag; detail } :: t.items;
-  t.live <- t.live + 1;
-  t.total <- t.total + 1;
-  if t.live > 2 * t.capacity then begin
-    (* Amortized truncation: keep the newest [capacity] events. *)
-    t.items <- List.filteri (fun i _ -> i < t.capacity) t.items;
-    t.live <- t.capacity
+  if t.recording then begin
+    t.items <- { time; tag; detail } :: t.items;
+    t.live <- t.live + 1;
+    t.total <- t.total + 1;
+    if t.live > 2 * t.capacity then begin
+      (* Amortized truncation: keep the newest [capacity] events. *)
+      t.items <- List.filteri (fun i _ -> i < t.capacity) t.items;
+      t.live <- t.capacity
+    end
   end
 
 let count t = t.total

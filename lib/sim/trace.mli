@@ -15,6 +15,17 @@ val create : ?capacity:int -> unit -> t
     accumulate. *)
 
 val record : t -> time:float -> tag:string -> string -> unit
+(** A no-op while recording is off (see {!set_recording}). *)
+
+val recording : t -> bool
+(** Whether events are currently being kept (default [true]). Hot callers
+    that must format an event's detail string check this first, so a
+    disabled trace costs neither the record nor the formatting. *)
+
+val set_recording : t -> bool -> unit
+(** Turn event capture on or off. Flood-scale benchmark runs switch the
+    trace off: at millions of events the per-event formatting would
+    dominate the simulation itself. Already-recorded events are kept. *)
 
 val count : t -> int
 (** Total events recorded since creation (or the last {!clear}), including

@@ -482,8 +482,25 @@ let prop_eheap_matches_model =
           model := List.filter (fun (_, s) -> s <> smin) !model;
           Some (tmin, smin)
       in
+      (* Alternate the two pop entry points: [pop] and the scheduler's
+         allocation-free [pop_into]; both must agree with the model, and
+         [top_time]/[peek_time] must agree with each other beforehand. *)
+      let scratch = [| Float.nan |] in
+      let pops = ref 0 in
       let pop_both () =
-        match (Sim.Eheap.pop h, model_pop ()) with
+        (match Sim.Eheap.peek_time h with
+        | Some t -> if Sim.Eheap.top_time h <> t then ok := false
+        | None -> ());
+        incr pops;
+        let popped =
+          if Sim.Eheap.is_empty h then None
+          else if !pops land 1 = 0 then Sim.Eheap.pop h
+          else begin
+            let payload = Sim.Eheap.pop_into h ~time:scratch in
+            Some (scratch.(0), payload)
+          end
+        in
+        match (popped, model_pop ()) with
         | None, None -> ()
         | Some (t, s), Some (t', s') -> if t <> t' || s <> s' then ok := false
         | Some _, None | None, Some _ -> ok := false
@@ -502,6 +519,70 @@ let prop_eheap_matches_model =
         pop_both ()
       done;
       !ok && Sim.Eheap.size h = 0)
+
+(* The scheduler's hold pattern: preload, then pop-one/push-one with the
+   new event at popped-time + delta, as a running simulation keeps its
+   queue. Popped times must be nondecreasing throughout and no event may
+   be lost — the shape of the churn the flood workload sustains. *)
+let prop_eheap_hold_pattern =
+  QCheck.Test.make ~count:100
+    ~name:"eheap: hold-pattern churn is order-preserving and lossless"
+    QCheck.(
+      make
+        Gen.(
+          pair (int_range 1 64)
+            (list_size (int_range 1 300) (int_bound 5))))
+    (fun (preload, deltas) ->
+      let h = Sim.Eheap.create () in
+      for i = 1 to preload do
+        Sim.Eheap.push h ~time:(float_of_int (i mod 7)) i
+      done;
+      let scratch = [| Float.nan |] in
+      let last = ref Float.neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          ignore (Sim.Eheap.pop_into h ~time:scratch);
+          if scratch.(0) < !last then ok := false;
+          last := scratch.(0);
+          Sim.Eheap.push h ~time:(scratch.(0) +. float_of_int d) 0)
+        deltas;
+      !ok && Sim.Eheap.size h = preload)
+
+(* ---- the flood generator's popularity sampler ---- *)
+
+let prop_zipf_pmf =
+  QCheck.Test.make ~count:200
+    ~name:"zipf: pmf nonincreasing in rank, sums to 1, samples in range"
+    QCheck.(make Gen.(pair (int_range 1 200) (float_bound_inclusive 3.0)))
+    (fun (n, s) ->
+      let z = Locus.Zipf.create ~n ~s in
+      let sum = ref 0.0 in
+      let mono = ref true in
+      for r = 0 to n - 1 do
+        sum := !sum +. Locus.Zipf.pmf z r;
+        if r > 0 && Locus.Zipf.pmf z r > Locus.Zipf.pmf z (r - 1) +. 1e-12 then
+          mono := false
+      done;
+      let rng = Sim.Rng.create 99L in
+      let in_range = ref true in
+      for _ = 1 to 50 do
+        let r = Locus.Zipf.sample z rng in
+        if r < 0 || r >= n then in_range := false
+      done;
+      !mono && Float.abs (!sum -. 1.0) < 1e-9 && !in_range)
+
+let prop_zipf_deterministic =
+  QCheck.Test.make ~count:100
+    ~name:"zipf: sampled stream is a pure function of the rng seed"
+    QCheck.(make Gen.(pair (int_range 1 100) (int_bound 1000)))
+    (fun (n, seed) ->
+      let z = Locus.Zipf.create ~n ~s:1.1 in
+      let stream () =
+        let rng = Sim.Rng.create (Int64.of_int seed) in
+        List.init 100 (fun _ -> Locus.Zipf.sample z rng)
+      in
+      stream () = stream ())
 
 module Ilru = Storage.Lru.Make (struct
   type t = int
@@ -574,6 +655,9 @@ let props =
       prop_commits_survive_crashes;
       prop_convergence_despite_message_loss;
       prop_eheap_matches_model;
+      prop_eheap_hold_pattern;
+      prop_zipf_pmf;
+      prop_zipf_deterministic;
       prop_lru_matches_model;
     ]
 
